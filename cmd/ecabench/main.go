@@ -1,0 +1,59 @@
+// Command ecabench regenerates the paper's figures and produces the
+// performance series recorded in EXPERIMENTS.md:
+//
+//	ecabench -fig 8          # replay one figure's artifact / message flow
+//	ecabench -figs           # replay all figures (1–11)
+//	ecabench -series join    # run one performance series
+//	ecabench -all            # figures + every series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		fig    = flag.Int("fig", 0, "reproduce one figure (1–11)")
+		figs   = flag.Bool("figs", false, "reproduce all figures")
+		series = flag.String("series", "", "run one performance series")
+		all    = flag.Bool("all", false, "figures + all series")
+	)
+	flag.Parse()
+
+	switch {
+	case *fig != 0:
+		fail(bench.RunFigure(*fig, os.Stdout))
+	case *figs:
+		runFigs()
+	case *series != "":
+		fail(bench.RunSeries(*series, os.Stdout))
+	case *all:
+		runFigs()
+		for _, s := range bench.Series() {
+			fmt.Println()
+			fail(bench.RunSeries(s, os.Stdout))
+		}
+	default:
+		flag.Usage()
+		fmt.Fprintf(os.Stderr, "\nfigures: %v\nseries: %v\n", bench.Figures(), bench.Series())
+		os.Exit(2)
+	}
+}
+
+func runFigs() {
+	for _, n := range bench.Figures() {
+		fmt.Printf("\n════════ Figure %d ════════\n\n", n)
+		fail(bench.RunFigure(n, os.Stdout))
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+// Command ecactl is the client for an ecad daemon:
+//
+//	ecactl [-s http://127.0.0.1:8080] register rule.xml
+//	ecactl [-s http://127.0.0.1:8080] event event.xml
+//	ecactl [-s http://127.0.0.1:8080] event -            (read from stdin)
+//	ecactl [-s http://127.0.0.1:8080] book "John Doe" Munich Paris
+//	ecactl [-s http://127.0.0.1:8080] rules
+//	ecactl [-s http://127.0.0.1:8080] stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/domain/travel"
+)
+
+func main() {
+	server := flag.String("s", "http://127.0.0.1:8080", "ecad base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	var err error
+	switch args[0] {
+	case "register":
+		if len(args) != 2 {
+			usage()
+		}
+		err = postFile(*server+"/engine/rules", args[1])
+	case "event":
+		if len(args) != 2 {
+			usage()
+		}
+		err = postFile(*server+"/events", args[1])
+	case "book":
+		if len(args) != 4 {
+			usage()
+		}
+		err = post(*server+"/events", strings.NewReader(travel.Booking(args[1], args[2], args[3]).String()))
+	case "stats":
+		err = get(*server + "/engine/stats")
+	case "rules":
+		err = get(*server + "/engine/rules")
+	default:
+		usage()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ecactl [-s URL] register <rule.xml> | event <file|-> | book <person> <from> <to> | rules | stats`)
+	os.Exit(2)
+}
+
+func postFile(url, file string) error {
+	var r io.Reader
+	if file == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	return post(url, r)
+}
+
+func post(url string, body io.Reader) error {
+	resp, err := http.Post(url, "application/xml", body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(out)))
+	}
+	fmt.Print(string(out))
+	return nil
+}
+
+func get(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(out)))
+	}
+	fmt.Print(string(out))
+	return nil
+}

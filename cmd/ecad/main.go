@@ -1,0 +1,162 @@
+// Command ecad runs the ECA engine daemon: the engine, the Generic Request
+// Handler and every bundled component language service, exposed over HTTP
+// (see system.Mux for the endpoint map). Rules and documents can be loaded
+// at startup or pushed at runtime with ecactl.
+//
+// Usage:
+//
+//	ecad -addr :8080 [-rule file.xml]... [-doc uri=file.xml]... \
+//	     [-datalog rules.dl] [-travel] [-distribute] [-v]
+//
+// With -travel the daemon preloads the paper's car-rental scenario
+// (documents, opaque service endpoints and the Fig. 4 rule). With
+// -distribute the GRH re-registers every service as a remote endpoint of
+// this daemon, so all component traffic flows through the HTTP wire
+// protocol (the distributed deployment of Fig. 3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/datalog"
+	"repro/internal/domain/travel"
+	"repro/internal/engine"
+	"repro/internal/ontology"
+	"repro/internal/ruleml"
+	"repro/internal/system"
+	"repro/internal/xmltree"
+)
+
+type repeated []string
+
+func (r *repeated) String() string     { return strings.Join(*r, ",") }
+func (r *repeated) Set(s string) error { *r = append(*r, s); return nil }
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		datalogSrc = flag.String("datalog", "", "Datalog rulebase file for the LP query service")
+		registry   = flag.String("registry", "", "Turtle file with language-service descriptions to register (ontology-driven dispatch)")
+		loadTravel = flag.Bool("travel", false, "preload the car-rental running example")
+		distribute = flag.Bool("distribute", false, "route all component traffic over this daemon's HTTP endpoints")
+		verbose    = flag.Bool("v", false, "log engine evaluation traces")
+		rules      repeated
+		docs       repeated
+	)
+	flag.Var(&rules, "rule", "rule file to register at startup (repeatable)")
+	flag.Var(&docs, "doc", "uri=file pair to load into the document store (repeatable)")
+	flag.Parse()
+
+	if err := run(*addr, *datalogSrc, *registry, *loadTravel, *distribute, *verbose, rules, docs); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, datalogSrc, registry string, loadTravel, distribute, verbose bool, rules, docs []string) error {
+	cfg := system.Config{Namespaces: travel.Namespaces()}
+	if verbose {
+		cfg.Logger = engine.LoggerFunc(log.Printf)
+	}
+	if datalogSrc != "" {
+		src, err := os.ReadFile(datalogSrc)
+		if err != nil {
+			return err
+		}
+		prog, err := datalog.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		cfg.Datalog = prog
+	}
+	sys, err := system.NewLocal(cfg)
+	if err != nil {
+		return err
+	}
+	for _, pair := range docs {
+		uri, file, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("-doc wants uri=file, got %q", pair)
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		doc, err := xmltree.ParseString(string(src))
+		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		sys.Store.Put(uri, doc)
+	}
+
+	if registry != "" {
+		f, err := os.Open(registry)
+		if err != nil {
+			return err
+		}
+		n, err := ontology.RegisterFromTurtle(sys.GRH, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		log.Printf("registered %d language service(s) from %s", n, registry)
+	}
+
+	var opaqueDoc *xmltree.Node
+	if loadTravel {
+		travel.LoadStore(sys.Store)
+		opaqueDoc = xmltree.MustParse(travel.ClassesXML)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	base := "http://" + ln.Addr().String()
+	mux := sys.Mux(opaqueDoc, travel.Namespaces())
+	srv := &http.Server{Handler: mux}
+
+	go func() {
+		if err := srv.Serve(ln); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	log.Printf("ecad listening on %s", base)
+
+	if distribute {
+		if err := sys.Distribute(base); err != nil {
+			return err
+		}
+		log.Printf("component traffic routed through %s (distributed mode)", base)
+	}
+	if loadTravel {
+		rule, err := ruleml.ParseString(travel.RuleXML(base+"/opaque/store", base+"/opaque/xquery"))
+		if err != nil {
+			return err
+		}
+		if err := sys.Engine.Register(rule); err != nil {
+			return err
+		}
+		log.Printf("registered rule %s (car-rental running example)", rule.ID)
+	}
+	for _, file := range rules {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		rule, err := ruleml.ParseString(string(src))
+		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		if err := sys.Engine.Register(rule); err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		log.Printf("registered rule %s from %s", rule.ID, file)
+	}
+	select {} // serve forever
+}

@@ -1,0 +1,106 @@
+package eca_test
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBinariesEndToEnd builds the real ecad and ecactl binaries, starts the
+// daemon with the car-rental scenario, drives it with the client, and
+// checks the stats — the full deployment story of the README.
+func TestBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	ecad := filepath.Join(dir, "ecad")
+	ecactl := filepath.Join(dir, "ecactl")
+	for bin, pkg := range map[string]string{ecad: "./cmd/ecad", ecactl: "./cmd/ecactl"} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	// Pick a free port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	daemon := exec.Command(ecad, "-addr", addr, "-travel")
+	daemon.Stdout = os.Stderr
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+
+	base := "http://" + addr
+	// Wait for readiness.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/engine/stats")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ecad did not come up")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	run := func(args ...string) string {
+		t.Helper()
+		out, err := exec.Command(ecactl, append([]string{"-s", base}, args...)...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("ecactl %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	run("book", "John Doe", "Munich", "Paris")
+	stats := run("stats")
+	for _, want := range []string{"rules 1", "instances_created 1", "instances_completed 1", "notifications 1"} {
+		if !strings.Contains(stats, want) {
+			t.Errorf("stats missing %q:\n%s", want, stats)
+		}
+	}
+
+	// Register a second rule through the client and fire it.
+	ruleFile := filepath.Join(dir, "rule.xml")
+	ruleXML := `<eca:rule xmlns:eca="http://www.semwebtech.org/languages/2006/eca-ml"
+	    xmlns:t="http://t/" id="cli-rule">
+	  <eca:event><t:e x="$X"/></eca:event>
+	  <eca:action><t:a x="$X"/></eca:action>
+	</eca:rule>`
+	if err := os.WriteFile(ruleFile, []byte(ruleXML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out := run("register", ruleFile); !strings.Contains(out, "cli-rule") {
+		t.Fatalf("register output = %q", out)
+	}
+	evFile := filepath.Join(dir, "event.xml")
+	if err := os.WriteFile(evFile, []byte(`<t:e xmlns:t="http://t/" x="9"/>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run("event", evFile)
+	stats = run("stats")
+	if !strings.Contains(stats, "rules 2") || !strings.Contains(stats, "notifications 2") {
+		t.Errorf("after cli rule:\n%s", stats)
+	}
+	fmt.Fprintln(os.Stderr, "binary e2e OK")
+}

@@ -1,0 +1,41 @@
+package eca_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/domain/travel"
+	"repro/internal/system"
+)
+
+// TestConcurrentBookings publishes bookings from many goroutines through
+// the complete car-rental scenario; run with -race this exercises the
+// engine, GRH, services and stores under contention.
+func TestConcurrentBookings(t *testing.T) {
+	sc, cleanup, err := travel.NewScenario(system.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	const goroutines = 8
+	const perG = 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sc.Book("John Doe", "Munich", "Paris")
+			}
+		}()
+	}
+	wg.Wait()
+	want := goroutines * perG
+	if got := len(sc.Notifier.Sent()); got != want {
+		t.Fatalf("notifications = %d, want %d", got, want)
+	}
+	st := sc.Engine.Stats()
+	if st.InstancesCreated != want || st.InstancesCompleted != want {
+		t.Fatalf("stats = %+v", st)
+	}
+}

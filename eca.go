@@ -1,0 +1,86 @@
+// Package eca is a from-scratch Go implementation of the generic ECA
+// (Event-Condition-Action) framework for heterogeneous component languages
+// in the Semantic Web, after Behrends, Fritzen, May and Schubert, "An ECA
+// Engine for Deploying Heterogeneous Component Languages in the Semantic
+// Web" (EDBT 2006 Workshops).
+//
+// # Architecture
+//
+// A rule ON event AND knowledge IF condition THEN DO action is written in
+// an XML markup whose Event, Query, Test and Action components may each use
+// a different language, identified by a namespace URI. The ECA engine keeps
+// the global semantics — rule instances as sets of tuples of variable
+// bindings, natural joins between components — while a Generic Request
+// Handler (GRH) mediates between the engine and per-language services:
+//
+//	ECA engine ── GRH ──┬── atomic event matcher   (event)
+//	                    ├── SNOOP detection        (event, composite)
+//	                    ├── XQuery-lite            (query, functional)
+//	                    ├── Datalog                (query, LP-style)
+//	                    ├── raw HTTP XML nodes     (query, framework-unaware)
+//	                    ├── test evaluator         (test)
+//	                    └── action executors       (action)
+//
+// Every service runs either in-process or behind a real HTTP endpoint
+// speaking the eca:request / log:answers wire protocol.
+//
+// # Quickstart
+//
+//	sys, _ := eca.NewLocal(eca.Config{})
+//	rule, _ := eca.ParseRule(ruleXML)
+//	sys.Engine.Register(rule)
+//	sys.Stream.Publish(eca.NewEvent(payload))
+//
+// See examples/ for complete programs and DESIGN.md for the system
+// inventory.
+package eca
+
+import (
+	"repro/internal/bindings"
+	"repro/internal/datalog"
+	"repro/internal/engine"
+	"repro/internal/events"
+	"repro/internal/ruleml"
+	"repro/internal/system"
+	"repro/internal/xmltree"
+)
+
+// System is a wired deployment: engine, GRH and all component services.
+type System = system.System
+
+// Config parameterizes a System (Datalog rulebase, namespaces, tracing).
+type Config = system.Config
+
+// Notification is a message sent by the domain action executor.
+type Notification = system.Notification
+
+// Rule is a parsed ECA rule.
+type Rule = ruleml.Rule
+
+// Event is an event occurrence on the stream.
+type Event = events.Event
+
+// Stats are the engine's activity counters.
+type Stats = engine.Stats
+
+// Tuple is one tuple of variable bindings.
+type Tuple = bindings.Tuple
+
+// Node is a namespace-aware XML node.
+type Node = xmltree.Node
+
+// NewLocal wires a complete in-process deployment.
+func NewLocal(cfg Config) (*System, error) { return system.NewLocal(cfg) }
+
+// ParseRule parses an eca:rule document from XML source.
+func ParseRule(src string) (*Rule, error) { return ruleml.ParseString(src) }
+
+// ParseXML parses an XML document (events, rule files, data documents).
+func ParseXML(src string) (*Node, error) { return xmltree.ParseString(src) }
+
+// NewEvent wraps an XML payload as an event occurrence.
+func NewEvent(payload *Node) Event { return events.New(payload) }
+
+// ParseDatalog parses a Datalog rulebase for Config.Datalog (the LP-style
+// query service's knowledge base).
+func ParseDatalog(src string) (*datalog.Program, error) { return datalog.Parse(src) }

@@ -1,0 +1,102 @@
+// Composite demonstrates composite event detection with the SNOOP event
+// algebra (Section 4.2): rules whose event components are sequences,
+// negations and conjunctions over atomic events, with logical join
+// variables across the constituents.
+//
+// Rule 1 (churn): a booking followed by a cancellation *by the same person*
+// triggers a retention offer.
+//
+// Rule 2 (no-show watch): a booking with NEITHER a check-in NOR a
+// cancellation before boarding triggers a reminder — SNOOP negation with a
+// nested disjunction as the guarded event:
+// NOT(checkin ∨ cancellation)[booking, boarding], joined on the person.
+//
+// Run with: go run ./examples/composite
+package main
+
+import (
+	"fmt"
+	"log"
+
+	eca "repro"
+)
+
+const ecaNS = "http://www.semwebtech.org/languages/2006/eca-ml"
+const snoopNS = "http://www.semwebtech.org/languages/2006/snoop"
+const airNS = "http://example.org/airline"
+
+const churnRule = `<eca:rule xmlns:eca="` + ecaNS + `"
+    xmlns:snoop="` + snoopNS + `" xmlns:air="` + airNS + `" id="churn">
+  <eca:event>
+    <snoop:seq context="chronicle">
+      <snoop:event><air:booking person="$P" flight="$F"/></snoop:event>
+      <snoop:event><air:cancellation person="$P"/></snoop:event>
+    </snoop:seq>
+  </eca:event>
+  <eca:action>
+    <air:retention-offer person="$P" flight="$F"/>
+  </eca:action>
+</eca:rule>`
+
+const noShowRule = `<eca:rule xmlns:eca="` + ecaNS + `"
+    xmlns:snoop="` + snoopNS + `" xmlns:air="` + airNS + `" id="no-show">
+  <eca:event>
+    <snoop:not context="continuous">
+      <snoop:event><air:booking person="$P" flight="$F"/></snoop:event>
+      <snoop:or>
+        <snoop:event><air:checkin person="$P"/></snoop:event>
+        <snoop:event><air:cancellation person="$P"/></snoop:event>
+      </snoop:or>
+      <snoop:event><air:boarding flight="$F"/></snoop:event>
+    </snoop:not>
+  </eca:event>
+  <eca:action>
+    <air:reminder person="$P" flight="$F"/>
+  </eca:action>
+</eca:rule>`
+
+func main() {
+	sys, err := eca.NewLocal(eca.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Notifier.OnSend(func(n eca.Notification) {
+		fmt.Printf("→ %s\n", n.Message)
+	})
+	for _, src := range []string{churnRule, noShowRule} {
+		rule, err := eca.ParseRule(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Engine.Register(rule); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	pub := func(name string, attrs ...string) {
+		src := `<air:` + name + ` xmlns:air="` + airNS + `"`
+		for i := 0; i+1 < len(attrs); i += 2 {
+			src += ` ` + attrs[i] + `="` + attrs[i+1] + `"`
+		}
+		src += `/>`
+		doc, err := eca.ParseXML(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("event: %s\n", doc.Root())
+		sys.Stream.Publish(eca.NewEvent(doc))
+	}
+
+	fmt.Println("--- John books LH101 and cancels: churn fires (same-person join) ---")
+	pub("booking", "person", "John", "flight", "LH101")
+	pub("booking", "person", "Mary", "flight", "LH101")
+	pub("cancellation", "person", "John")
+
+	fmt.Println("\n--- Mary checks in, John cancelled, Tom does neither: reminder only for Tom ---")
+	pub("booking", "person", "Tom", "flight", "LH101")
+	pub("checkin", "person", "Mary")
+	pub("boarding", "flight", "LH101")
+
+	st := sys.Engine.Stats()
+	fmt.Printf("\nengine stats: %d instances, %d completed\n", st.InstancesCreated, st.InstancesCompleted)
+}

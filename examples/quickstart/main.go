@@ -1,0 +1,74 @@
+// Quickstart: the smallest useful ECA deployment — one in-process system,
+// one rule, three events. The rule watches sensor readings and informs an
+// operator when a value exceeds a threshold:
+//
+//	ON  m:reading(sensor=$S, value=$V)
+//	IF  $V > 100
+//	DO  m:alert(sensor=$S, value=$V)
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	eca "repro"
+)
+
+const ruleXML = `<eca:rule xmlns:eca="http://www.semwebtech.org/languages/2006/eca-ml"
+    xmlns:m="http://example.org/monitoring" id="overheat">
+  <eca:event>
+    <m:reading sensor="$S" value="$V"/>
+  </eca:event>
+  <eca:test>$V > 100</eca:test>
+  <eca:action>
+    <m:alert sensor="$S" value="$V"/>
+  </eca:action>
+</eca:rule>`
+
+func main() {
+	// 1. Wire the engine, the Generic Request Handler and the component
+	//    services in-process.
+	sys, err := eca.NewLocal(eca.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Print every message the action executor "sends".
+	sys.Notifier.OnSend(func(n eca.Notification) {
+		fmt.Printf("ALERT  %s\n", n.Message)
+	})
+
+	// 3. Register the rule: its event component goes to the atomic event
+	//    matcher, the test is evaluated locally, the action is executed
+	//    once per surviving tuple.
+	rule, err := eca.ParseRule(ruleXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Engine.Register(rule); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Publish events.
+	for _, r := range []struct {
+		sensor string
+		value  string
+	}{
+		{"boiler-1", "95"},
+		{"boiler-2", "130"},
+		{"boiler-1", "250"},
+	} {
+		doc, err := eca.ParseXML(
+			`<m:reading xmlns:m="http://example.org/monitoring" sensor="` + r.sensor + `" value="` + r.value + `"/>`)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys.Stream.Publish(eca.NewEvent(doc))
+	}
+
+	st := sys.Engine.Stats()
+	fmt.Printf("\n%d instances created, %d fired, %d filtered out by the test\n",
+		st.InstancesCreated, st.InstancesCompleted, st.InstancesDied)
+}

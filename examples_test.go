@@ -1,0 +1,54 @@
+package eca_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program and checks its key output
+// markers, guarding the documented deliverables against bitrot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs subprocesses")
+	}
+	cases := map[string][]string{
+		"./examples/quickstart": {
+			`sensor="boiler-2"`,
+			"2 fired, 1 filtered out",
+		},
+		"./examples/carrental": {
+			"John Doe books a flight",
+			`ownCar="VW Passat" class="B" car="Opel Astra"`,
+			"after query[3]: 1 tuple(s)",
+		},
+		"./examples/composite": {
+			`retention-offer xmlns:ns1="http://example.org/airline" person="John"`,
+			`reminder xmlns:ns1="http://example.org/airline" person="Tom"`,
+		},
+		"./examples/federation": {
+			`SHIP`,
+			`supplier="globex"`,
+			"1 fired, 1 eliminated",
+		},
+		"./examples/extension": {
+			`lock-account xmlns:ns1="http://example.org/security" user="mallory"`,
+			"1 fired",
+		},
+	}
+	for pkg, wants := range cases {
+		pkg, wants := pkg, wants
+		t.Run(strings.TrimPrefix(pkg, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", pkg).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", pkg, err, out)
+			}
+			for _, want := range wants {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output lacks %q:\n%s", pkg, want, out)
+				}
+			}
+		})
+	}
+}

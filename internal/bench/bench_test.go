@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigureContent pins the load-bearing content of each regenerated
+// figure: the reproduction is wrong if these markers disappear.
+func TestFigureContent(t *testing.T) {
+	wants := map[int][]string{
+		1: {
+			"rules:car-rental rdf:type eca:Rule",
+			"eca:bindsVariable \"OwnCar\"",
+			"ontology validation of rule \"car-rental\": OK",
+		},
+		2: {
+			"SNOOP detection service",
+			"Query languages",
+			"Datalog service",
+			"travel domain",
+		},
+		3: {
+			"/services/matcher",
+			"notification(s)",
+			"Opel Astra",
+		},
+		4: {
+			"car-rental",
+			"binds $OwnCar",
+			"opaque",
+			"steps=3, actions=1",
+		},
+		5: {
+			`kind="register-event"`,
+			"atomic event matcher",
+			"$Person",
+		},
+		6: {
+			"instance created",
+			`Person="John Doe"`,
+			`Dest="Paris"`,
+		},
+		7: {
+			`component="query[1]"`,
+			"John Doe",
+		},
+		8: {
+			"VW Golf",
+			"VW Passat",
+			"2 tuple(s)",
+		},
+		9: {
+			"VW Golf",
+			"VW Passat",
+			"http-get",
+		},
+		10: {
+			"log:answers",
+			"Opel Astra",
+			"Renault Espace",
+		},
+		11: {
+			"after query[3]: 1 tuple(s)",
+			`ownCar="VW Passat"`,
+			`class="B"`,
+		},
+	}
+	for _, n := range Figures() {
+		n := n
+		t.Run(figName(n), func(t *testing.T) {
+			var b strings.Builder
+			if err := RunFigure(n, &b); err != nil {
+				t.Fatal(err)
+			}
+			out := b.String()
+			for _, want := range wants[n] {
+				if !strings.Contains(out, want) {
+					t.Errorf("figure %d output lacks %q\n----\n%s", n, want, out)
+				}
+			}
+		})
+	}
+}
+
+func figName(n int) string {
+	return "fig" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+func TestUnknownFigureAndSeries(t *testing.T) {
+	var b strings.Builder
+	if err := RunFigure(12, &b); err == nil {
+		t.Error("figure 12 should not exist")
+	}
+	if err := RunSeries("bogus", &b); err == nil {
+		t.Error("bogus series should fail")
+	}
+}
+
+func TestSeriesOutputsTables(t *testing.T) {
+	// Only the cheap, local series — the HTTP ones run via cmd/ecabench.
+	for _, s := range []string{"xpath", "xq", "join"} {
+		var b strings.Builder
+		if err := RunSeries(s, &b); err != nil {
+			t.Fatalf("series %s: %v", s, err)
+		}
+		lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+		if len(lines) < 3 {
+			t.Errorf("series %s produced %d lines", s, len(lines))
+		}
+		if !strings.Contains(lines[0], "series "+s) {
+			t.Errorf("series %s header = %q", s, lines[0])
+		}
+	}
+}

@@ -1,0 +1,326 @@
+// Package bench is the experiment harness behind cmd/ecabench and the
+// repository-level benchmarks: it replays every figure of the paper
+// (architecture artifacts and the car-rental message flows of Figs. 4–11)
+// and produces the performance series recorded in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/domain/travel"
+	"repro/internal/engine"
+	"repro/internal/grh"
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+	"repro/internal/ruleml"
+	"repro/internal/services"
+	"repro/internal/system"
+	"repro/internal/xmltree"
+)
+
+// Trace is one observed GRH message.
+type Trace struct {
+	Dir     string // "→" request, "←" answer
+	Peer    string
+	Payload string
+}
+
+// ScenarioRun is a fully traced execution of the running example.
+type ScenarioRun struct {
+	Traces    []Trace
+	EngineLog []string
+	Sc        *travel.Scenario
+	Cleanup   func()
+}
+
+// RunScenario wires the car-rental scenario with tracing and publishes the
+// paper's booking event.
+func RunScenario() (*ScenarioRun, error) {
+	run := &ScenarioRun{}
+	var mu sync.Mutex
+	cfg := system.Config{
+		Logger: engine.LoggerFunc(func(format string, args ...any) {
+			mu.Lock()
+			run.EngineLog = append(run.EngineLog, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		}),
+		Trace: func(dir, peer string, payload *xmltree.Node) {
+			mu.Lock()
+			run.Traces = append(run.Traces, Trace{dir, peer, xmltree.Indent(payload).String()})
+			mu.Unlock()
+		},
+	}
+	sc, cleanup, err := travel.NewScenario(cfg)
+	if err != nil {
+		return nil, err
+	}
+	run.Sc = sc
+	run.Cleanup = cleanup
+	sc.Book("John Doe", "Munich", "Paris")
+	return run, nil
+}
+
+// Figures returns the set of reproducible figure numbers.
+func Figures() []int { return []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11} }
+
+// RunFigure reproduces one figure of the paper, writing the regenerated
+// artifact or message flow to w.
+func RunFigure(n int, w io.Writer) error {
+	switch n {
+	case 1:
+		return fig1(w)
+	case 2:
+		return fig2(w)
+	case 3:
+		return fig3(w)
+	case 4:
+		return fig4(w)
+	case 5, 6, 7, 8, 9, 10, 11:
+		return figFlow(n, w)
+	default:
+		return fmt.Errorf("bench: no figure %d in the paper", n)
+	}
+}
+
+// fig1 regenerates the rule-and-language ontology of Fig. 1: the sample
+// rule and the registered languages as RDF resources, serialized as Turtle
+// and validated.
+func fig1(w io.Writer) error {
+	sys, err := system.NewLocal(system.Config{})
+	if err != nil {
+		return err
+	}
+	g := ontology.Base()
+	ontology.DescribeRegistry(g, sys.GRH)
+	// The framework-unaware nodes of Figs. 9/10 are languages too: the
+	// registry records their endpoints and that opaque mediation applies.
+	ontology.DescribeLanguage(g, grh.Descriptor{
+		Language:       services.XQueryNS + "-opaque",
+		Name:           "raw XQuery/XPath HTTP nodes (framework-unaware)",
+		Kinds:          []ruleml.ComponentKind{ruleml.QueryComponent},
+		FrameworkAware: false,
+		Endpoint:       "http://example.org/opaque",
+	})
+	rule, err := ruleml.ParseString(travel.RuleXML("http://example.org/opaque/store", "http://example.org/opaque/xquery"))
+	if err != nil {
+		return err
+	}
+	ontology.DescribeRule(g, rule)
+	fmt.Fprintln(w, "# Fig. 1 — ECA rule components and languages as Semantic-Web resources")
+	fmt.Fprintln(w, "# (the sample rule of Fig. 4 plus the registered component languages)")
+	fmt.Fprintln(w)
+	if err := rdf.WriteTurtle(w, g.Triples(), map[string]string{
+		"eca":   ontology.NS,
+		"rules": ontology.RulesNS,
+		"rdfs":  rdf.RDFSNS,
+		"rdf":   rdf.RDFNS,
+		"xsd":   rdf.XSDNS,
+	}); err != nil {
+		return err
+	}
+	if err := ontology.Validate(g, rule.ID); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n# ontology validation of rule %q: OK (every component uses a language of its family)\n", rule.ID)
+	return nil
+}
+
+// fig2 regenerates the language hierarchy of Fig. 2.
+func fig2(w io.Writer) error {
+	sys, err := system.NewLocal(system.Config{})
+	if err != nil {
+		return err
+	}
+	g := ontology.Base()
+	ontology.DescribeRegistry(g, sys.GRH)
+	fmt.Fprintln(w, "# Fig. 2 — hierarchy of languages")
+	fmt.Fprintln(w, "ECA Language: <event/> <query/> <test/> <action/>")
+	for _, fam := range []struct {
+		label string
+		class rdf.Term
+	}{
+		{"Event languages", ontology.ClassEventLanguage},
+		{"Query languages", ontology.ClassQueryLanguage},
+		{"Test languages", ontology.ClassTestLanguage},
+		{"Action languages", ontology.ClassActionLanguage},
+	} {
+		fmt.Fprintf(w, "├─ %s\n", fam.label)
+		langs := ontology.LanguagesInFamily(g, fam.class)
+		var names []string
+		for _, l := range langs {
+			names = append(names, l.Value)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			name := n
+			if d, ok := sys.GRH.Lookup(n); ok && d.Name != "" {
+				name = fmt.Sprintf("%s (%s)", d.Name, n)
+			}
+			fmt.Fprintf(w, "│   ├─ %s\n", name)
+		}
+	}
+	fmt.Fprintln(w, "└─ Application domain: atomic events / literals / atomic actions")
+	fmt.Fprintf(w, "    └─ travel domain (%s): booking, cancellation → inform\n", travel.NS)
+	return nil
+}
+
+// fig3 regenerates the global service-oriented architecture: every service
+// behind an HTTP endpoint, one booking routed entirely over the wire.
+func fig3(w io.Writer) error {
+	sc, cleanup, err := travel.NewScenario(system.Config{})
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	srv, err := serveMux(sc)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if err := sc.Distribute(srv.URL); err != nil {
+		return err
+	}
+	rule, err := ruleml.ParseString(travel.RuleXML(sc.StoreURL, sc.XQueryURL))
+	if err != nil {
+		return err
+	}
+	rule.ID = "car-rental-distributed"
+	if err := sc.Engine.Register(rule); err != nil {
+		return err
+	}
+	sc.Notifier.Reset()
+	sc.Book("John Doe", "Munich", "Paris")
+	fmt.Fprintln(w, "# Fig. 3 — global service-oriented architecture (all services over HTTP)")
+	fmt.Fprintf(w, "base URL: %s\n", srv.URL)
+	for _, ep := range []string{
+		"/services/matcher", "/services/snoop", "/services/xquery",
+		"/services/datalog", "/services/test", "/services/action",
+		"/opaque/store", "/opaque/xquery", "/engine/detect", "/engine/rules", "/events",
+	} {
+		fmt.Fprintf(w, "  endpoint %s\n", ep)
+	}
+	sent := sc.Notifier.Sent()
+	fmt.Fprintf(w, "booking routed through the distributed deployment → %d notification(s)\n", len(sent))
+	for _, s := range sent {
+		fmt.Fprintf(w, "  %s\n", s.Message)
+	}
+	if len(sent) == 0 {
+		return fmt.Errorf("fig3: distributed deployment produced no notifications")
+	}
+	return nil
+}
+
+// fig4 regenerates the sample rule document.
+func fig4(w io.Writer) error {
+	src := travel.RuleXML("http://example.org/opaque/store", "http://example.org/opaque/xquery")
+	rule, err := ruleml.ParseString(src)
+	if err != nil {
+		return err
+	}
+	if err := ruleml.Validate(rule, nil); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "# Fig. 4 — outline of the sample rule (parsed and validated)")
+	fmt.Fprintln(w, src)
+	fmt.Fprintf(w, "\n# structure: event=%s, steps=%d, actions=%d\n", rule.Event.ID, len(rule.Steps), len(rule.Actions))
+	for _, c := range rule.Components() {
+		varInfo := ""
+		if c.Variable != "" {
+			varInfo = fmt.Sprintf(" binds $%s", c.Variable)
+		}
+		mode := "marked-up"
+		if c.Opaque {
+			mode = "opaque"
+		}
+		fmt.Fprintf(w, "#   %-10s language=%-55s %s%s\n", c.ID, orDash(c.Language), mode, varInfo)
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "(domain-level, registry default)"
+	}
+	return s
+}
+
+// figFlow replays the message flows of Figs. 5–11 and prints the slice of
+// the trace belonging to the requested figure.
+func figFlow(n int, w io.Writer) error {
+	run, err := RunScenario()
+	if err != nil {
+		return err
+	}
+	defer run.Cleanup()
+	headers := map[int]string{
+		5:  "# Fig. 5 — registration of the event component (engine → GRH → atomic matcher)",
+		6:  "# Fig. 6 — detection of the event component (matcher → engine, instance creation)",
+		7:  "# Fig. 7 — sending the first query component to the GRH (own cars)",
+		8:  "# Fig. 8 — answer to the first query: two functional results → two tuples",
+		9:  "# Fig. 9 — evaluation of the 2nd query against a framework-unaware service (per-tuple HTTP GET)",
+		10: "# Fig. 10 — query against available cars, generating a log:answers structure",
+		11: "# Fig. 11 — join semantics: only class-B tuples survive; one action per tuple",
+	}
+	fmt.Fprintln(w, headers[n])
+	switch n {
+	case 5:
+		printTraces(w, run.Traces, func(t Trace) bool {
+			return strings.Contains(t.Payload, `kind="register-event"`)
+		})
+	case 6:
+		printLog(w, run.EngineLog, "event", "instance created")
+	case 7:
+		printTraces(w, run.Traces, func(t Trace) bool {
+			return t.Dir == "→" && strings.Contains(t.Payload, `component="query[1]"`)
+		})
+	case 8:
+		printTraces(w, run.Traces, func(t Trace) bool {
+			return t.Dir == "←" && t.Peer == "XQuery service"
+		})
+		printLog(w, run.EngineLog, "after query[1]")
+	case 9:
+		printTraces(w, run.Traces, func(t Trace) bool {
+			return strings.Contains(t.Peer, run.Sc.StoreURL)
+		})
+		printLog(w, run.EngineLog, "after query[2]")
+	case 10:
+		printTraces(w, run.Traces, func(t Trace) bool {
+			return strings.Contains(t.Peer, run.Sc.XQueryURL)
+		})
+	case 11:
+		printLog(w, run.EngineLog, "after query[3]", "action")
+		for _, s := range run.Sc.Notifier.Sent() {
+			fmt.Fprintf(w, "message sent: %s\n", s.Message)
+		}
+		if len(run.Sc.Notifier.Sent()) != 1 {
+			return fmt.Errorf("fig11: expected exactly one surviving tuple, got %d", len(run.Sc.Notifier.Sent()))
+		}
+	}
+	return nil
+}
+
+func printTraces(w io.Writer, traces []Trace, keep func(Trace) bool) {
+	for _, t := range traces {
+		if keep(t) {
+			fmt.Fprintf(w, "%s %s\n%s\n\n", t.Dir, t.Peer, t.Payload)
+		}
+	}
+}
+
+func printLog(w io.Writer, lines []string, substrs ...string) {
+	for _, l := range lines {
+		for _, s := range substrs {
+			if strings.Contains(l, s) {
+				fmt.Fprintln(w, l)
+				break
+			}
+		}
+	}
+}
+
+// grhComponent is re-exported for the series helpers.
+type grhComponent = grh.Component

@@ -1,0 +1,368 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/bindings"
+	"repro/internal/datalog"
+	"repro/internal/domain/travel"
+	"repro/internal/events"
+	"repro/internal/protocol"
+	"repro/internal/ruleml"
+	"repro/internal/services"
+	"repro/internal/snoop"
+	"repro/internal/system"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+	"repro/internal/xq"
+)
+
+func serveMux(sc *travel.Scenario) (*httptest.Server, error) {
+	return httptest.NewServer(sc.Mux(xmltree.MustParse(travel.ClassesXML), travel.Namespaces())), nil
+}
+
+// Series lists the available performance series.
+func Series() []string {
+	return []string{"reg", "match", "snoop", "join", "grh", "e2e", "datalog", "xq", "xpath"}
+}
+
+// RunSeries executes one named series, printing a table to w.
+func RunSeries(name string, w io.Writer) error {
+	switch name {
+	case "reg":
+		return seriesReg(w)
+	case "match":
+		return seriesMatch(w)
+	case "snoop":
+		return seriesSnoop(w)
+	case "join":
+		return seriesJoin(w)
+	case "grh":
+		return seriesGRH(w)
+	case "e2e":
+		return seriesE2E(w)
+	case "datalog":
+		return seriesDatalog(w)
+	case "xq":
+		return seriesXQ(w)
+	case "xpath":
+		return seriesXPath(w)
+	default:
+		return fmt.Errorf("bench: unknown series %q (have %v)", name, Series())
+	}
+}
+
+// measure runs f n times and returns ns/op.
+func measure(n int, f func(i int)) float64 {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(n)
+}
+
+func simpleRule(id string) *ruleml.Rule {
+	return ruleml.MustParse(fmt.Sprintf(`<eca:rule xmlns:eca="%s" xmlns:t="http://t/" id="%s">
+	  <eca:event><t:e%s x="$X"/></eca:event>
+	  <eca:action><t:a x="$X"/></eca:action>
+	</eca:rule>`, protocol.ECANS, id, id))
+}
+
+// seriesReg: rule registrations per second vs. number of rules already
+// registered.
+func seriesReg(w io.Writer) error {
+	fmt.Fprintln(w, "series reg — rule registration cost vs. registered rules")
+	fmt.Fprintln(w, "rules\tns/register\tregisters/s")
+	for _, n := range []int{100, 1000, 5000} {
+		sys, err := system.NewLocal(system.Config{})
+		if err != nil {
+			return err
+		}
+		nsop := measure(n, func(i int) {
+			if err := sys.Engine.Register(simpleRule(fmt.Sprintf("r%d", i))); err != nil {
+				panic(err)
+			}
+		})
+		fmt.Fprintf(w, "%d\t%.0f\t%.0f\n", n, nsop, 1e9/nsop)
+	}
+	return nil
+}
+
+// seriesMatch: atomic events matched per second vs. number of registered
+// patterns.
+func seriesMatch(w io.Writer) error {
+	fmt.Fprintln(w, "series match — atomic event matching vs. registered patterns")
+	fmt.Fprintln(w, "patterns\tns/event\tevents/s")
+	for _, m := range []int{1, 10, 100, 1000} {
+		stream := events.NewStream()
+		matcher := events.NewMatcher()
+		stream.Subscribe(matcher.OnEvent)
+		for i := 0; i < m; i++ {
+			p := events.MustPattern(fmt.Sprintf(`<e%d x="$X"/>`, i))
+			matcher.Register(fmt.Sprintf("k%d", i), p, func(events.Detection) {})
+		}
+		payload := xmltree.NewElement("", "e0")
+		payload.SetAttr("", "x", "1")
+		nsop := measure(2000, func(int) {
+			stream.Publish(events.Event{Payload: payload})
+		})
+		fmt.Fprintf(w, "%d\t%.0f\t%.0f\n", m, nsop, 1e9/nsop)
+	}
+	return nil
+}
+
+// seriesSnoop: composite detection throughput per operator and context.
+func seriesSnoop(w io.Writer) error {
+	fmt.Fprintln(w, "series snoop — composite event detection by operator × context")
+	fmt.Fprintln(w, "operator\tcontext\tns/event\tevents/s")
+	atomicA := &snoop.Atomic{Pattern: events.MustPattern(`<a k="$K"/>`)}
+	atomicB := &snoop.Atomic{Pattern: events.MustPattern(`<b k="$K"/>`)}
+	atomicC := &snoop.Atomic{Pattern: events.MustPattern(`<c k="$K"/>`)}
+	exprs := map[string]snoop.Expr{
+		"seq": &snoop.Seq{L: atomicA, R: atomicB},
+		"and": &snoop.And{L: atomicA, R: atomicB},
+		"or":  &snoop.Or{L: atomicA, R: atomicB},
+		"not": &snoop.Not{Begin: atomicA, Guarded: atomicC, End: atomicB},
+		"any": &snoop.Any{M: 2, Children: []snoop.Expr{atomicA, atomicB, atomicC}},
+	}
+	contexts := []snoop.ParamContext{snoop.Recent, snoop.Chronicle, snoop.Continuous, snoop.Cumulative}
+	for _, op := range []string{"seq", "and", "or", "not", "any"} {
+		for _, ctx := range contexts {
+			det, err := snoop.NewDetector(exprs[op], ctx, func(snoop.Occurrence) {})
+			if err != nil {
+				return err
+			}
+			names := []string{"a", "b"}
+			seq := uint64(0)
+			nsop := measure(2000, func(i int) {
+				seq++
+				e := xmltree.NewElement("", names[i%2])
+				// a and b alternate and share the join key, so initiators
+				// actually pair with terminators and consuming contexts
+				// keep their state bounded.
+				e.SetAttr("", "k", fmt.Sprint((i/2)%8))
+				det.Feed(events.Event{Payload: e, Seq: seq, Time: time.Unix(int64(seq), 0)})
+			})
+			fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\n", op, ctx, nsop, 1e9/nsop)
+		}
+	}
+	return nil
+}
+
+// makeRelation builds a relation of n tuples over the given join-key
+// cardinality.
+func makeRelation(n, keys int, keyVar, payloadVar string) *bindings.Relation {
+	r := bindings.NewRelation()
+	for i := 0; i < n; i++ {
+		r.Add(bindings.MustTuple(
+			keyVar, bindings.Str(fmt.Sprintf("k%d", i%keys)),
+			payloadVar, bindings.Str(fmt.Sprintf("v%d", i)),
+		))
+	}
+	return r
+}
+
+// seriesJoin: natural-join cost vs. relation sizes. The join-key
+// cardinality scales with the input (n/2 keys → ~2 matches per key per
+// side), so output stays linear and the series measures the hash join, not
+// a Cartesian blow-up.
+func seriesJoin(w io.Writer) error {
+	fmt.Fprintln(w, "series join — natural join R ⋈ S vs. input sizes (n/2 join-key values)")
+	fmt.Fprintln(w, "|R|\t|S|\tout\tns/join\ttuples/s")
+	for _, n := range []int{10, 100, 1000, 10000} {
+		keys := n / 2
+		if keys < 4 {
+			keys = 4
+		}
+		r := makeRelation(n, keys, "K", "A")
+		s := makeRelation(n, keys, "K", "B")
+		var out *bindings.Relation
+		reps := 5
+		if n >= 10000 {
+			reps = 2
+		}
+		nsop := measure(reps, func(int) { out = r.Join(s) })
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.0f\t%.0f\n", n, n, out.Size(), nsop, float64(out.Size())*1e9/nsop)
+	}
+	return nil
+}
+
+// seriesGRH: dispatch overhead — in-process vs. HTTP framework-aware vs.
+// opaque per-tuple mediation.
+func seriesGRH(w io.Writer) error {
+	fmt.Fprintln(w, "series grh — GRH dispatch overhead by transport (query with 2 input tuples)")
+	fmt.Fprintln(w, "transport\tns/dispatch\tdispatches/s")
+	sc, cleanup, err := travel.NewScenario(system.Config{})
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	srv, err := serveMux(sc)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	rel := bindings.NewRelation(
+		bindings.MustTuple("Person", bindings.Str("John Doe")),
+		bindings.MustTuple("Person", bindings.Str("Jane Roe")),
+	)
+	expr := xmltree.NewElement(services.XQueryNS, "query")
+	expr.AppendText(`for $c in doc('` + travel.CarsDoc + `')//owner[@name=$Person]/car return $c/model/text()`)
+	comp := grhComponent{
+		Rule:     "bench",
+		Comp:     ruleml.Component{Kind: ruleml.QueryComponent, ID: "query[1]", Language: services.XQueryNS, Expression: expr},
+		Bindings: rel,
+	}
+	// In-process.
+	nsop := measure(500, func(int) {
+		if _, err := sc.GRH.Dispatch(protocol.Query, comp); err != nil {
+			panic(err)
+		}
+	})
+	fmt.Fprintf(w, "in-process\t%.0f\t%.0f\n", nsop, 1e9/nsop)
+	// HTTP framework-aware.
+	if err := sc.Distribute(srv.URL); err != nil {
+		return err
+	}
+	nsop = measure(300, func(int) {
+		if _, err := sc.GRH.Dispatch(protocol.Query, comp); err != nil {
+			panic(err)
+		}
+	})
+	fmt.Fprintf(w, "http-aware\t%.0f\t%.0f\n", nsop, 1e9/nsop)
+	// Opaque per-tuple mediation.
+	opaque := grhComponent{
+		Rule: "bench",
+		Comp: ruleml.Component{
+			Kind: ruleml.QueryComponent, ID: "query[2]", Opaque: true,
+			Language: "raw", Service: sc.StoreURL,
+			Text: `//entry[@model='VW Golf']/@class`,
+		},
+		Bindings: rel,
+	}
+	nsop = measure(300, func(int) {
+		if _, err := sc.GRH.Dispatch(protocol.Query, opaque); err != nil {
+			panic(err)
+		}
+	})
+	fmt.Fprintf(w, "http-opaque\t%.0f\t%.0f\n", nsop, 1e9/nsop)
+	return nil
+}
+
+// seriesE2E: end-to-end firings of the car-rental rule per second.
+func seriesE2E(w io.Writer) error {
+	fmt.Fprintln(w, "series e2e — end-to-end car-rental rule firings (event → 3 queries → join → action)")
+	fmt.Fprintln(w, "deployment\tns/firing\tfirings/s")
+	for _, mode := range []string{"local", "distributed"} {
+		sc, cleanup, err := travel.NewScenario(system.Config{})
+		if err != nil {
+			return err
+		}
+		srv, err := serveMux(sc)
+		if err != nil {
+			cleanup()
+			return err
+		}
+		if mode == "distributed" {
+			if err := sc.Distribute(srv.URL); err != nil {
+				srv.Close()
+				cleanup()
+				return err
+			}
+		}
+		nsop := measure(200, func(int) {
+			sc.Book("John Doe", "Munich", "Paris")
+		})
+		if got := len(sc.Notifier.Sent()); got != 200 {
+			srv.Close()
+			cleanup()
+			return fmt.Errorf("e2e %s: %d notifications, want 200", mode, got)
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.1f\n", mode, nsop, 1e9/nsop)
+		srv.Close()
+		cleanup()
+	}
+	return nil
+}
+
+// seriesDatalog: transitive closure on chain graphs.
+func seriesDatalog(w io.Writer) error {
+	fmt.Fprintln(w, "series datalog — transitive closure of a chain, semi-naive evaluation")
+	fmt.Fprintln(w, "nodes\tderived\tns/eval\tfacts/s")
+	for _, n := range []int{50, 200, 500} {
+		var src string
+		for i := 0; i < n-1; i++ {
+			src += fmt.Sprintf("e(n%d, n%d).\n", i, i+1)
+		}
+		src += "tc(X, Y) :- e(X, Y).\ntc(X, Z) :- e(X, Y), tc(Y, Z).\n"
+		prog, err := datalog.Parse(src)
+		if err != nil {
+			return err
+		}
+		var db *datalog.Database
+		nsop := measure(3, func(int) {
+			db, err = prog.Eval()
+			if err != nil {
+				panic(err)
+			}
+		})
+		fmt.Fprintf(w, "%d\t%d\t%.0f\t%.0f\n", n, db.Size(), nsop, float64(db.Size())*1e9/nsop)
+	}
+	return nil
+}
+
+// seriesXQ: XQuery-lite evaluations per second on the cars document.
+func seriesXQ(w io.Writer) error {
+	fmt.Fprintln(w, "series xq — XQuery-lite FLWOR evaluation on the cars document")
+	fmt.Fprintln(w, "query\tns/eval\tevals/s")
+	store := services.NewDocStore()
+	travel.LoadStore(store)
+	ctx := &xq.Context{Docs: store.Resolver(), Vars: map[string]xq.Sequence{"Person": {"John Doe"}}}
+	queries := map[string]string{
+		"own-cars":  `for $c in doc('` + travel.CarsDoc + `')//owner[@name=$Person]/car return $c/model/text()`,
+		"construct": `for $c in doc('` + travel.CarsDoc + `')//car order by $c/year return <r y="{$c/year}">{$c/model/text()}</r>`,
+	}
+	for _, name := range []string{"own-cars", "construct"} {
+		q, err := xq.Compile(queries[name])
+		if err != nil {
+			return err
+		}
+		nsop := measure(3000, func(int) {
+			if _, err := q.Eval(ctx); err != nil {
+				panic(err)
+			}
+		})
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\n", name, nsop, 1e9/nsop)
+	}
+	return nil
+}
+
+// seriesXPath: XPath evaluations per second.
+func seriesXPath(w io.Writer) error {
+	fmt.Fprintln(w, "series xpath — XPath evaluation on the cars document")
+	fmt.Fprintln(w, "expr\tns/eval\tevals/s")
+	doc := xmltree.MustParse(travel.CarsXML)
+	exprs := map[string]string{
+		"path":      `/owners/owner/car/model`,
+		"predicate": `//owner[@name='John Doe']/car[year>2004]/model`,
+		"functions": `count(//car[starts-with(model, 'VW')])`,
+	}
+	for _, name := range []string{"path", "predicate", "functions"} {
+		e, err := xpath.Compile(exprs[name])
+		if err != nil {
+			return err
+		}
+		ctx := &xpath.Context{Node: doc}
+		nsop := measure(5000, func(int) {
+			if _, err := e.Eval(ctx); err != nil {
+				panic(err)
+			}
+		})
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\n", name, nsop, 1e9/nsop)
+	}
+	return nil
+}

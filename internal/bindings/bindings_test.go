@@ -1,0 +1,394 @@
+package bindings
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmltree"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Str("Golf"), String, "Golf"},
+		{Num(3.5), Number, "3.5"},
+		{Num(42), Number, "42"},
+		{Boolean(true), Bool, "true"},
+		{Boolean(false), Bool, "false"},
+		{Ref("http://example.org/x"), URI, "http://example.org/x"},
+		{Fragment(xmltree.MustParse("<car>Passat</car>").Root()), XML, "Passat"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.AsString() != c.str {
+			t.Errorf("%v: AsString = %q, want %q", c.v, c.v.AsString(), c.str)
+		}
+	}
+}
+
+func TestValueAsNumber(t *testing.T) {
+	if n, ok := Str("17.5").AsNumber(); !ok || n != 17.5 {
+		t.Errorf("Str(17.5).AsNumber = %v, %v", n, ok)
+	}
+	if _, ok := Str("abc").AsNumber(); ok {
+		t.Error("Str(abc).AsNumber should fail")
+	}
+	if n, ok := Boolean(true).AsNumber(); !ok || n != 1 {
+		t.Errorf("Boolean(true).AsNumber = %v, %v", n, ok)
+	}
+	if n, ok := Fragment(xmltree.MustParse("<v> 7 </v>").Root()).AsNumber(); !ok || n != 7 {
+		t.Errorf("XML .AsNumber = %v, %v", n, ok)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	frag := func(s string) Value { return Fragment(xmltree.MustParse(s).Root()) }
+	eq := []struct{ a, b Value }{
+		{Str("x"), Str("x")},
+		{Num(5), Str("5")},
+		{Str("5"), Num(5)},
+		{Num(5), Num(5)},
+		{Ref("u"), Ref("u")},
+		{Boolean(true), Boolean(true)},
+		{frag("<c>B</c>"), frag("<c>B</c>")},
+		{frag("<c>B</c>"), Str("B")},
+		{frag("<c>7</c>"), Num(7)},
+	}
+	for _, c := range eq {
+		if !c.a.Equal(c.b) {
+			t.Errorf("%v should Equal %v", c.a, c.b)
+		}
+		if c.a.Key() != c.b.Key() {
+			t.Errorf("Equal values must share keys: %v vs %v", c.a.Key(), c.b.Key())
+		}
+	}
+	ne := []struct{ a, b Value }{
+		{Str("x"), Str("y")},
+		{Str("u"), Ref("u")},                 // literal vs reference
+		{Boolean(true), Str("true")},         // booleans segregate
+		{Boolean(true), Num(1)},              // booleans segregate
+		{frag("<c>B</c>"), frag("<d>B</d>")}, // same text, different structure
+		{Num(5), Str("5x")},
+	}
+	for _, c := range ne {
+		if c.a.Equal(c.b) {
+			t.Errorf("%v should not Equal %v", c.a, c.b)
+		}
+	}
+}
+
+func TestTupleCompatibleMerge(t *testing.T) {
+	a := MustTuple("Person", Str("John Doe"), "Class", Str("B"))
+	b := MustTuple("Class", Str("B"), "Car", Str("Astra"))
+	c := MustTuple("Class", Str("D"), "Car", Str("Laguna"))
+	if !a.Compatible(b) {
+		t.Error("a and b agree on Class, should be compatible")
+	}
+	if a.Compatible(c) {
+		t.Error("a and c disagree on Class, should be incompatible")
+	}
+	m := a.Merge(b)
+	if len(m) != 3 || m["Car"].AsString() != "Astra" || m["Person"].AsString() != "John Doe" {
+		t.Errorf("merge = %v", m)
+	}
+	// Merge must not mutate the inputs.
+	if len(a) != 2 || len(b) != 2 {
+		t.Error("merge mutated its inputs")
+	}
+}
+
+func TestRelationAddDeduplicates(t *testing.T) {
+	r := NewRelation()
+	if !r.Add(MustTuple("X", Str("1"))) {
+		t.Error("first Add should insert")
+	}
+	if r.Add(MustTuple("X", Num(1))) {
+		t.Error("numeric-equal duplicate should not insert")
+	}
+	if r.Size() != 1 {
+		t.Errorf("size = %d", r.Size())
+	}
+}
+
+// TestFig11Join reproduces the join of the paper's running example:
+// the customer's cars {Golf/C, Passat/B} joined with the cars available in
+// Paris {B, D} must keep only class-B tuples.
+func TestFig11Join(t *testing.T) {
+	owned := NewRelation(
+		MustTuple("Person", Str("John Doe"), "OwnCar", Str("Golf"), "Class", Str("C")),
+		MustTuple("Person", Str("John Doe"), "OwnCar", Str("Passat"), "Class", Str("B")),
+	)
+	available := NewRelation(
+		MustTuple("Class", Str("B"), "Avail", Str("Astra")),
+		MustTuple("Class", Str("D"), "Avail", Str("Espace")),
+	)
+	j := owned.Join(available)
+	if j.Size() != 1 {
+		t.Fatalf("join size = %d, want 1\n%s", j.Size(), j)
+	}
+	got := j.Tuples()[0]
+	if got["OwnCar"].AsString() != "Passat" || got["Avail"].AsString() != "Astra" {
+		t.Errorf("surviving tuple = %v", got)
+	}
+}
+
+func TestJoinCartesianWhenDisjoint(t *testing.T) {
+	r := NewRelation(MustTuple("A", Str("1")), MustTuple("A", Str("2")))
+	s := NewRelation(MustTuple("B", Str("x")), MustTuple("B", Str("y")), MustTuple("B", Str("z")))
+	j := r.Join(s)
+	if j.Size() != 6 {
+		t.Errorf("cartesian size = %d, want 6", j.Size())
+	}
+}
+
+func TestJoinWithUnit(t *testing.T) {
+	r := NewRelation(MustTuple("A", Str("1")), MustTuple("A", Str("2")))
+	if !Unit().Join(r).Equal(r) || !r.Join(Unit()).Equal(r) {
+		t.Error("Unit must be the identity of join")
+	}
+}
+
+func TestJoinEmpty(t *testing.T) {
+	r := NewRelation(MustTuple("A", Str("1")))
+	empty := NewRelation()
+	if !r.Join(empty).Empty() || !empty.Join(r).Empty() {
+		t.Error("join with empty relation must be empty")
+	}
+}
+
+func TestJoinHeterogeneousTuples(t *testing.T) {
+	// A tuple lacking the shared variable joins with everything compatible.
+	r := NewRelation(
+		MustTuple("X", Str("1"), "Y", Str("a")),
+		MustTuple("Y", Str("b")), // no X
+	)
+	s := NewRelation(MustTuple("X", Str("1"), "Z", Str("q")))
+	j := r.Join(s)
+	if j.Size() != 2 {
+		t.Fatalf("join size = %d, want 2\n%s", j.Size(), j)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := NewRelation(
+		MustTuple("N", Num(1)),
+		MustTuple("N", Num(5)),
+		MustTuple("N", Num(10)),
+	)
+	big := r.Select(func(t Tuple) bool {
+		n, _ := t["N"].AsNumber()
+		return n >= 5
+	})
+	if big.Size() != 2 {
+		t.Errorf("selected %d, want 2", big.Size())
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := NewRelation(
+		MustTuple("Car", Str("Golf"), "Class", Str("C")),
+		MustTuple("Car", Str("Polo"), "Class", Str("C")),
+		MustTuple("Car", Str("Passat"), "Class", Str("B")),
+	)
+	p := r.Project("Class")
+	if p.Size() != 2 {
+		t.Errorf("projection size = %d, want 2 (duplicates merged)\n%s", p.Size(), p)
+	}
+}
+
+func TestExtend(t *testing.T) {
+	r := NewRelation(MustTuple("Person", Str("John Doe")))
+	// The paper's <eca:variable name="OwnCar"> semantics: two functional
+	// results yield two tuples.
+	cars := r.Extend("OwnCar", func(t Tuple) []Value {
+		return []Value{Str("Golf"), Str("Passat")}
+	})
+	if cars.Size() != 2 {
+		t.Fatalf("extend size = %d, want 2", cars.Size())
+	}
+	// A tuple with zero functional results disappears.
+	none := r.Extend("OwnCar", func(t Tuple) []Value { return nil })
+	if !none.Empty() {
+		t.Error("extend with no values should eliminate the tuple")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	r := NewRelation(MustTuple("X", Str("1")))
+	s := NewRelation(MustTuple("X", Str("1")), MustTuple("X", Str("2")))
+	u := r.Union(s)
+	if u.Size() != 2 {
+		t.Errorf("union size = %d, want 2", u.Size())
+	}
+}
+
+func TestRelationEqual(t *testing.T) {
+	r := NewRelation(MustTuple("X", Str("1")), MustTuple("X", Str("2")))
+	s := NewRelation(MustTuple("X", Str("2")), MustTuple("X", Str("1")))
+	if !r.Equal(s) {
+		t.Error("order must not matter for relation equality")
+	}
+	s.Add(MustTuple("X", Str("3")))
+	if r.Equal(s) {
+		t.Error("different sizes must not be Equal")
+	}
+}
+
+// --- property-based tests -------------------------------------------------
+
+// genRelation builds a pseudo-random relation over a small variable and
+// value alphabet so joins hit both matches and mismatches.
+func genRelation(rng *rand.Rand, vars []string) *Relation {
+	vals := []Value{Str("a"), Str("b"), Str("c"), Num(1), Num(2)}
+	r := NewRelation()
+	n := rng.Intn(8)
+	for i := 0; i < n; i++ {
+		t := Tuple{}
+		for _, v := range vars {
+			if rng.Intn(3) > 0 { // sometimes leave a variable unbound
+				t[v] = vals[rng.Intn(len(vals))]
+			}
+		}
+		r.Add(t)
+	}
+	return r
+}
+
+type relPair struct{ R, S *Relation }
+
+// Generate implements quick.Generator for pairs of relations with
+// overlapping variable sets.
+func (relPair) Generate(rng *rand.Rand, size int) reflect.Value {
+	p := relPair{
+		R: genRelation(rng, []string{"X", "Y"}),
+		S: genRelation(rng, []string{"Y", "Z"}),
+	}
+	return reflect.ValueOf(p)
+}
+
+func TestQuickJoinCommutative(t *testing.T) {
+	f := func(p relPair) bool {
+		return p.R.Join(p.S).Equal(p.S.Join(p.R))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinIdempotent(t *testing.T) {
+	// R ⋈ R = R for relations of uniform schema; with partial tuples the
+	// result can grow, so restrict to fully bound tuples.
+	f := func(p relPair) bool {
+		full := p.R.Select(func(tp Tuple) bool { return len(tp) == 2 })
+		return full.Join(full).Equal(full)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinUnitIdentity(t *testing.T) {
+	f := func(p relPair) bool {
+		return p.R.Join(Unit()).Equal(p.R) && Unit().Join(p.R).Equal(p.R)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinAssociative(t *testing.T) {
+	type triple struct{ R, S, T *Relation }
+	gen := func(vs [3][]string) func(*rand.Rand) triple {
+		return func(rng *rand.Rand) triple {
+			return triple{genRelation(rng, vs[0]), genRelation(rng, vs[1]), genRelation(rng, vs[2])}
+		}
+	}
+	g := gen([3][]string{{"X", "Y"}, {"Y", "Z"}, {"Z", "X"}})
+	rng := rand.New(rand.NewSource(7))
+	full := func(r *Relation) *Relation {
+		return r.Select(func(tp Tuple) bool { return len(tp) == 2 })
+	}
+	for i := 0; i < 200; i++ {
+		tr := g(rng)
+		// Associativity holds for uniform schemas; partially bound tuples
+		// give outer-join-like semantics for which it does not.
+		tr.R, tr.S, tr.T = full(tr.R), full(tr.S), full(tr.T)
+		left := tr.R.Join(tr.S).Join(tr.T)
+		right := tr.R.Join(tr.S.Join(tr.T))
+		if !left.Equal(right) {
+			t.Fatalf("join not associative:\nR=%s\nS=%s\nT=%s\nleft=%s\nright=%s",
+				tr.R, tr.S, tr.T, left, right)
+		}
+	}
+}
+
+func TestQuickProjectAfterJoinShrinks(t *testing.T) {
+	f := func(p relPair) bool {
+		j := p.R.Join(p.S)
+		return j.Project("Y").Size() <= j.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: join distributes over union, (R ∪ S) ⋈ T = (R ⋈ T) ∪ (S ⋈ T).
+func TestQuickJoinDistributesOverUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		r := genRelation(rng, []string{"X", "Y"})
+		s := genRelation(rng, []string{"X", "Y"})
+		u := genRelation(rng, []string{"Y", "Z"})
+		left := r.Union(s).Join(u)
+		right := r.Join(u).Union(s.Join(u))
+		if !left.Equal(right) {
+			t.Fatalf("distribution failed:\nR=%s\nS=%s\nT=%s\nleft=%s\nright=%s", r, s, u, left, right)
+		}
+	}
+}
+
+// Property: selection commutes with join when the predicate only reads one
+// side's private variable.
+func TestQuickSelectionPushdown(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pred := func(tp Tuple) bool {
+		v, ok := tp["X"]
+		return ok && v.AsString() != "a"
+	}
+	for i := 0; i < 200; i++ {
+		r := genRelation(rng, []string{"X", "Y"}).Select(func(tp Tuple) bool { return len(tp) == 2 })
+		s := genRelation(rng, []string{"Y", "Z"}).Select(func(tp Tuple) bool { return len(tp) == 2 })
+		early := r.Select(pred).Join(s)
+		late := r.Join(s).Select(pred)
+		if !early.Equal(late) {
+			t.Fatalf("pushdown failed:\nR=%s\nS=%s\nearly=%s\nlate=%s", r, s, early, late)
+		}
+	}
+}
+
+func TestQuickValueKeyConsistency(t *testing.T) {
+	// Equal values must share a Key (hash-join exactness).
+	vals := func(s string, f float64, b bool) []Value {
+		return []Value{Str(s), Num(f), Boolean(b), Ref(s)}
+	}
+	f := func(s string, fl float64, b bool, s2 string, f2 float64, b2 bool) bool {
+		for _, v := range vals(s, fl, b) {
+			for _, w := range vals(s2, f2, b2) {
+				if v.Equal(w) && v.Key() != w.Key() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+package bindings
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func TestNewTupleErrors(t *testing.T) {
+	if _, err := NewTuple("X"); err == nil {
+		t.Error("odd arguments should fail")
+	}
+	if _, err := NewTuple(1, Str("v")); err == nil {
+		t.Error("non-string name should fail")
+	}
+	if _, err := NewTuple("X", "not-a-value"); err == nil {
+		t.Error("non-Value should fail")
+	}
+}
+
+func TestMustTuplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTuple should panic on bad input")
+		}
+	}()
+	MustTuple("X")
+}
+
+func TestValueStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Str("x"), `"x"`},
+		{Num(3), "3"},
+		{Num(2.5), "2.5"},
+		{Boolean(true), "true"},
+		{Ref("http://u/"), "<http://u/>"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v.Kind(), got, c.want)
+		}
+	}
+	frag := Fragment(xmltree.MustParse(`<a/>`).Root())
+	if got := frag.String(); !strings.Contains(got, "<a/>") {
+		t.Errorf("fragment String = %q", got)
+	}
+}
+
+func TestValueIsZeroAndAsBool(t *testing.T) {
+	var zero Value
+	if !zero.IsZero() || zero.AsBool() {
+		t.Error("zero value should be zero and false")
+	}
+	if !Str("x").AsBool() || Str("").AsBool() {
+		t.Error("string AsBool by non-emptiness")
+	}
+	if !Num(1).AsBool() || Num(0).AsBool() {
+		t.Error("number AsBool by non-zero")
+	}
+	if !Fragment(xmltree.MustParse(`<a>t</a>`).Root()).AsBool() {
+		t.Error("fragment with text is true")
+	}
+}
+
+func TestTupleAndRelationString(t *testing.T) {
+	tup := MustTuple("B", Str("2"), "A", Str("1"))
+	if got := tup.String(); got != `{A="1", B="2"}` {
+		t.Errorf("tuple String = %q (variables must be sorted)", got)
+	}
+	r := NewRelation(tup, MustTuple("A", Str("9")))
+	s := r.String()
+	if !strings.Contains(s, "\n") || !strings.Contains(s, `{A="9"}`) {
+		t.Errorf("relation String = %q", s)
+	}
+}
+
+func TestRelationVarsAndClone(t *testing.T) {
+	r := NewRelation(
+		MustTuple("X", Str("1")),
+		MustTuple("Y", Str("2")),
+	)
+	if got := strings.Join(r.Vars(), ","); got != "X,Y" {
+		t.Errorf("vars = %q", got)
+	}
+	c := r.Clone()
+	c.Tuples()[0]["Z"] = Str("3")
+	if len(r.Tuples()[0]) != 1 {
+		t.Error("clone shares tuple storage")
+	}
+	// Add through clone must not affect original.
+	c.Add(MustTuple("W", Str("4")))
+	if r.Size() != 2 {
+		t.Error("clone shares relation storage")
+	}
+}
+
+func TestExtendDeduplicates(t *testing.T) {
+	r := NewRelation(MustTuple("X", Str("1")))
+	out := r.Extend("Y", func(Tuple) []Value {
+		return []Value{Str("a"), Str("a"), Num(2), Str("2")}
+	})
+	// "a" duplicated, and Num(2)/Str("2") are Equal → 2 distinct tuples.
+	if out.Size() != 2 {
+		t.Errorf("extend size = %d\n%s", out.Size(), out)
+	}
+}
+
+func TestProjectToNothing(t *testing.T) {
+	r := NewRelation(MustTuple("X", Str("1")), MustTuple("X", Str("2")))
+	p := r.Project()
+	if p.Size() != 1 || len(p.Tuples()[0]) != 0 {
+		t.Errorf("empty projection = %s", p)
+	}
+	// Unit ⋈ anything = anything: projection to nothing then join restores.
+	if !p.Join(r).Equal(r) {
+		t.Error("projected-unit join should restore")
+	}
+}
+
+func TestUnitVsEmpty(t *testing.T) {
+	if Unit().Empty() {
+		t.Error("Unit is not empty")
+	}
+	if Unit().Size() != 1 {
+		t.Error("Unit has one (empty) tuple")
+	}
+	if NewRelation().Size() != 0 {
+		t.Error("NewRelation() is empty")
+	}
+}
+
+func TestSelectPreservesOrderIndependence(t *testing.T) {
+	r := NewRelation(MustTuple("N", Num(1)), MustTuple("N", Num(2)))
+	out := r.Select(func(Tuple) bool { return true })
+	// Selecting everything then adding a duplicate must still dedupe.
+	if out.Add(MustTuple("N", Num(1))) {
+		t.Error("duplicate slipped past the rebuilt index")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		String: "string", Number: "number", Bool: "boolean", URI: "uri", XML: "xml",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String = %q", int(k), k.String())
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind should render its number")
+	}
+}

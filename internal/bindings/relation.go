@@ -1,0 +1,382 @@
+package bindings
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is one tuple of variable bindings: a finite map from variable names
+// to values. Tuples are treated as immutable once placed in a Relation;
+// operations that extend a tuple copy it first.
+type Tuple map[string]Value
+
+// NewTuple returns a tuple binding the given alternating name/value pairs.
+func NewTuple(pairs ...any) (Tuple, error) {
+	if len(pairs)%2 != 0 {
+		return nil, fmt.Errorf("bindings: NewTuple: odd number of arguments")
+	}
+	t := make(Tuple, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		name, ok := pairs[i].(string)
+		if !ok {
+			return nil, fmt.Errorf("bindings: NewTuple: argument %d is not a variable name", i)
+		}
+		v, ok := pairs[i+1].(Value)
+		if !ok {
+			return nil, fmt.Errorf("bindings: NewTuple: argument %d is not a Value", i+1)
+		}
+		t[name] = v
+	}
+	return t, nil
+}
+
+// MustTuple is NewTuple panicking on error, for tests and static data.
+func MustTuple(pairs ...any) Tuple {
+	t, err := NewTuple(pairs...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	for k, v := range t {
+		c[k] = v
+	}
+	return c
+}
+
+// Vars returns the sorted variable names bound in the tuple.
+func (t Tuple) Vars() []string {
+	out := make([]string, 0, len(t))
+	for k := range t {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Compatible reports whether two tuples agree (via Value.Equal) on every
+// variable they share, the precondition for merging them in a natural join.
+func (t Tuple) Compatible(u Tuple) bool {
+	small, large := t, u
+	if len(u) < len(t) {
+		small, large = u, t
+	}
+	for k, v := range small {
+		if w, ok := large[k]; ok && !v.Equal(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge returns a new tuple combining the bindings of both tuples. For
+// shared variables the value from t wins; callers should check Compatible
+// first if exact agreement matters.
+func (t Tuple) Merge(u Tuple) Tuple {
+	m := make(Tuple, len(t)+len(u))
+	for k, v := range u {
+		m[k] = v
+	}
+	for k, v := range t {
+		m[k] = v
+	}
+	return m
+}
+
+// Equal reports whether two tuples bind the same variables to Equal values.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for k, v := range t {
+		w, ok := u[k]
+		if !ok || !v.Equal(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// key returns a canonical string for duplicate elimination.
+func (t Tuple) key() string {
+	vars := t.Vars()
+	parts := make([]string, len(vars))
+	for i, k := range vars {
+		parts[i] = k + "\x00" + t[k].Key()
+	}
+	return strings.Join(parts, "\x01")
+}
+
+// String renders the tuple as {X=v, Y=w} with variables sorted.
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteString("{")
+	for i, k := range t.Vars() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(k)
+		b.WriteString("=")
+		b.WriteString(t[k].String())
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Relation is a set of tuples of variable bindings — the evaluation state of
+// an ECA rule instance as it flows through the Event, Query, Test and Action
+// components. The zero Relation is empty. Relations are not safe for
+// concurrent mutation.
+type Relation struct {
+	tuples []Tuple
+	index  map[string][]int // tuple.key() → indices, for duplicate elimination
+}
+
+// NewRelation returns a relation containing the given tuples (duplicates,
+// per Tuple.Equal, are removed).
+func NewRelation(tuples ...Tuple) *Relation {
+	r := &Relation{}
+	for _, t := range tuples {
+		r.Add(t)
+	}
+	return r
+}
+
+// Unit returns the relation containing exactly the empty tuple — the
+// identity of the natural join, used as the initial state before the event
+// component binds anything.
+func Unit() *Relation { return NewRelation(Tuple{}) }
+
+// Add inserts a tuple unless an Equal tuple is already present.
+// It reports whether the tuple was inserted.
+func (r *Relation) Add(t Tuple) bool {
+	if r.index == nil {
+		r.index = map[string][]int{}
+	}
+	k := t.key()
+	for _, i := range r.index[k] {
+		if r.tuples[i].Equal(t) {
+			return false
+		}
+	}
+	r.index[k] = append(r.index[k], len(r.tuples))
+	r.tuples = append(r.tuples, t)
+	return true
+}
+
+// Size returns the number of tuples.
+func (r *Relation) Size() int { return len(r.tuples) }
+
+// Empty reports whether the relation has no tuples. Note that Unit() is not
+// empty: it holds one (empty) tuple.
+func (r *Relation) Empty() bool { return len(r.tuples) == 0 }
+
+// Tuples returns the underlying tuples in insertion order. The slice is
+// shared; callers must not mutate it.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Vars returns the sorted union of variables bound in any tuple.
+func (r *Relation) Vars() []string {
+	set := map[string]bool{}
+	for _, t := range r.tuples {
+		for k := range t {
+			set[k] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a relation with copies of all tuples.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{}
+	for _, t := range r.tuples {
+		c.Add(t.Clone())
+	}
+	return c
+}
+
+// Join computes the natural join r ⋈ s: for every pair of compatible tuples
+// the merged tuple is emitted. Variables occurring on both sides act as join
+// variables; tuples disagreeing on any shared variable are eliminated —
+// this is the paper's mechanism for discarding, e.g., cars whose class is
+// not available at the destination (Fig. 11).
+func (r *Relation) Join(s *Relation) *Relation {
+	if r.Empty() || s.Empty() {
+		return &Relation{}
+	}
+	shared := sharedVars(r, s)
+	out := &Relation{}
+	if len(shared) == 0 {
+		// Cartesian product.
+		for _, t := range r.tuples {
+			for _, u := range s.tuples {
+				out.Add(t.Merge(u))
+			}
+		}
+		return out
+	}
+	// Hash join on the shared variables. Tuples missing one of the shared
+	// variables (heterogeneous relations) fall back to pairwise checks.
+	type bucket []Tuple
+	idx := map[string]bucket{}
+	var partialS []Tuple
+	for _, u := range s.tuples {
+		k, ok := joinKey(u, shared)
+		if !ok {
+			partialS = append(partialS, u)
+			continue
+		}
+		idx[k] = append(idx[k], u)
+	}
+	for _, t := range r.tuples {
+		k, ok := joinKey(t, shared)
+		if !ok {
+			// t lacks a shared var: compatible with anything agreeing on
+			// the vars it does have.
+			for _, u := range s.tuples {
+				if t.Compatible(u) {
+					out.Add(t.Merge(u))
+				}
+			}
+			continue
+		}
+		for _, u := range idx[k] {
+			if t.Compatible(u) { // exact check (keys can collide for XML)
+				out.Add(t.Merge(u))
+			}
+		}
+		for _, u := range partialS {
+			if t.Compatible(u) {
+				out.Add(t.Merge(u))
+			}
+		}
+	}
+	return out
+}
+
+func sharedVars(r, s *Relation) []string {
+	rv := map[string]bool{}
+	for _, v := range r.Vars() {
+		rv[v] = true
+	}
+	var shared []string
+	for _, v := range s.Vars() {
+		if rv[v] {
+			shared = append(shared, v)
+		}
+	}
+	sort.Strings(shared)
+	return shared
+}
+
+func joinKey(t Tuple, vars []string) (string, bool) {
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		val, ok := t[v]
+		if !ok {
+			return "", false
+		}
+		parts[i] = val.Key()
+	}
+	return strings.Join(parts, "\x01"), true
+}
+
+// Select returns the tuples satisfying pred — the test component's
+// semantics (σ): tuples failing the condition are discarded.
+func (r *Relation) Select(pred func(Tuple) bool) *Relation {
+	out := &Relation{}
+	for _, t := range r.tuples {
+		if pred(t) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Project returns the relation restricted to the given variables; tuples
+// that become Equal after projection are merged.
+func (r *Relation) Project(vars ...string) *Relation {
+	keep := map[string]bool{}
+	for _, v := range vars {
+		keep[v] = true
+	}
+	out := &Relation{}
+	for _, t := range r.tuples {
+		p := Tuple{}
+		for k, v := range t {
+			if keep[k] {
+				p[k] = v
+			}
+		}
+		out.Add(p)
+	}
+	return out
+}
+
+// Union returns the set union of two relations.
+func (r *Relation) Union(s *Relation) *Relation {
+	out := &Relation{}
+	for _, t := range r.tuples {
+		out.Add(t)
+	}
+	for _, t := range s.tuples {
+		out.Add(t)
+	}
+	return out
+}
+
+// Extend binds, in every tuple, the variable name to each of the values
+// produced by f for that tuple; a tuple for which f yields n values becomes
+// n tuples (and disappears when n is 0). This implements the paper's
+// <eca:variable name="N"> construct: each answer of a functional expression
+// yields a separate variable binding.
+func (r *Relation) Extend(name string, f func(Tuple) []Value) *Relation {
+	out := &Relation{}
+	for _, t := range r.tuples {
+		for _, v := range f(t) {
+			n := t.Clone()
+			n[name] = v
+			out.Add(n)
+		}
+	}
+	return out
+}
+
+// Equal reports set equality of two relations (order-insensitive).
+func (r *Relation) Equal(s *Relation) bool {
+	if r.Size() != s.Size() {
+		return false
+	}
+	used := make([]bool, s.Size())
+outer:
+	for _, t := range r.tuples {
+		for i, u := range s.tuples {
+			if !used[i] && t.Equal(u) {
+				used[i] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// String renders the relation, one tuple per line, in a canonical order.
+func (r *Relation) String() string {
+	lines := make([]string, len(r.tuples))
+	for i, t := range r.tuples {
+		lines[i] = t.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

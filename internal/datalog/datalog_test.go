@@ -1,0 +1,299 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bindings"
+)
+
+const family = `
+% The classic ancestor program.
+parent(john, mary).
+parent(mary, sue).
+parent(mary, tom).
+parent(bob, john).
+ancestor(X, Y) :- parent(X, Y).
+ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+`
+
+func evalProgram(t *testing.T, src string) *Database {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := p.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestAncestor(t *testing.T) {
+	db := evalProgram(t, family)
+	anc := db.Facts("ancestor", 2)
+	if len(anc) != 9 {
+		t.Fatalf("ancestor facts = %d, want 9:\n%v", len(anc), anc)
+	}
+	rel := db.Query(Atom{"ancestor", []Term{S("bob"), V("Y")}})
+	if rel.Size() != 4 {
+		t.Errorf("bob's descendants = %d, want 4\n%s", rel.Size(), rel)
+	}
+	// Ground query.
+	if db.Query(Atom{"ancestor", []Term{S("bob"), S("sue")}}).Size() != 1 {
+		t.Error("bob should be an ancestor of sue")
+	}
+	if db.Query(Atom{"ancestor", []Term{S("sue"), S("bob")}}).Size() != 0 {
+		t.Error("sue is not an ancestor of bob")
+	}
+}
+
+func TestRepeatedVariableInQuery(t *testing.T) {
+	db := evalProgram(t, `
+		likes(a, b). likes(b, a). likes(c, c).
+	`)
+	rel := db.Query(Atom{"likes", []Term{V("X"), V("X")}})
+	if rel.Size() != 1 || rel.Tuples()[0]["X"].AsString() != "c" {
+		t.Errorf("self-likes = %s", rel)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	db := evalProgram(t, `
+		person(alice, 30).
+		person(bob, 15).
+		person(carol, 65).
+		adult(X) :- person(X, A), A >= 18.
+		senior(X) :- person(X, A), A >= 65.
+		minor(X) :- person(X, A), A < 18.
+		notbob(X) :- person(X, _A), X != bob.
+	`)
+	if got := names(db, "adult"); got != "alice carol" {
+		t.Errorf("adults = %q", got)
+	}
+	if got := names(db, "senior"); got != "carol" {
+		t.Errorf("seniors = %q", got)
+	}
+	if got := names(db, "minor"); got != "bob" {
+		t.Errorf("minors = %q", got)
+	}
+	if got := names(db, "notbob"); got != "alice carol" {
+		t.Errorf("notbob = %q", got)
+	}
+}
+
+func names(db *Database, pred string) string {
+	var out []string
+	for _, f := range db.Facts(pred, 1) {
+		out = append(out, f.Args[0].Const.AsString())
+	}
+	return strings.Join(out, " ")
+}
+
+func TestStratifiedNegation(t *testing.T) {
+	db := evalProgram(t, `
+		node(a). node(b). node(c).
+		edge(a, b).
+		connected(X, Y) :- edge(X, Y).
+		isolated(X) :- node(X), not hasedge(X).
+		hasedge(X) :- edge(X, _Y).
+		hasedge(Y) :- edge(_X, Y).
+	`)
+	if got := names(db, "isolated"); got != "c" {
+		t.Errorf("isolated = %q", got)
+	}
+}
+
+func TestNegationBeforeBindingLiteral(t *testing.T) {
+	// The negated literal textually precedes the positive literal that
+	// binds its variable; evaluation must reorder.
+	db := evalProgram(t, `
+		p(a). p(b).
+		q(a).
+		r(X) :- not q(X), p(X).
+	`)
+	if got := names(db, "r"); got != "b" {
+		t.Errorf("r = %q", got)
+	}
+}
+
+func TestUnstratifiableRejected(t *testing.T) {
+	p := MustParse(`
+		p(a).
+		win(X) :- move(X, Y), not win(Y).
+		move(a, a).
+	`)
+	if _, err := p.Eval(); err == nil {
+		t.Fatal("negation through recursion must be rejected")
+	}
+}
+
+func TestUnsafeRulesRejected(t *testing.T) {
+	cases := []string{
+		`p(X) :- q(Y).`,                 // head var unbound
+		`p(X).`,                         // non-ground fact
+		`p(a). r(X) :- p(a), X < 3.`,    // cmp var unbound
+		`p(a). r(a) :- p(a), not q(X).`, // negated var unbound
+	}
+	for _, src := range cases {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if err := prog.Validate(); err == nil {
+			t.Errorf("Validate(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`p(a)`,  // missing dot
+		`p(a.`,  // bad paren
+		`P(a).`, // uppercase predicate
+		`p("unterminated).`,
+		`p() :- .`, // empty body literal
+		`:- p(a).`, // missing head
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestZeroArityPredicates(t *testing.T) {
+	db := evalProgram(t, `
+		go().
+		ready() :- go().
+	`)
+	if db.Query(Atom{Pred: "ready"}).Size() != 1 {
+		t.Error("ready() should be derivable")
+	}
+}
+
+func TestStringsAndNumbersAsConstants(t *testing.T) {
+	db := evalProgram(t, `
+		car("John Doe", "VW Golf", 2003).
+		car("John Doe", "VW Passat", 2005).
+		recent(M) :- car(_P, M, Y), Y > 2004.
+	`)
+	rel := db.Query(Atom{"recent", []Term{V("M")}})
+	if rel.Size() != 1 || rel.Tuples()[0]["M"].AsString() != "VW Passat" {
+		t.Errorf("recent = %s", rel)
+	}
+}
+
+func TestQueryAllConjunction(t *testing.T) {
+	db := evalProgram(t, `
+		owns(john, golf). owns(john, passat).
+		class(golf, c). class(passat, b).
+		avail(paris, b). avail(paris, d).
+	`)
+	rel := db.QueryAll([]Atom{
+		{"owns", []Term{S("john"), V("Car")}},
+		{"class", []Term{V("Car"), V("Class")}},
+		{"avail", []Term{S("paris"), V("Class")}},
+	})
+	if rel.Size() != 1 {
+		t.Fatalf("conjunctive query = %s", rel)
+	}
+	if rel.Tuples()[0]["Car"].AsString() != "passat" {
+		t.Errorf("car = %v", rel.Tuples()[0])
+	}
+}
+
+func TestFactsFromRelation(t *testing.T) {
+	rel := bindings.NewRelation(
+		bindings.MustTuple("Person", bindings.Str("John"), "Dest", bindings.Str("Paris")),
+		bindings.MustTuple("Person", bindings.Str("Jane")), // missing Dest: skipped
+	)
+	facts := FactsFromRelation("input", []string{"Person", "Dest"}, rel)
+	if len(facts) != 1 {
+		t.Fatalf("facts = %v", facts)
+	}
+	if facts[0].String() != `input("John", "Paris").` {
+		t.Errorf("fact = %s", facts[0])
+	}
+}
+
+func TestProgramStringRoundTrip(t *testing.T) {
+	p := MustParse(family)
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, p.String())
+	}
+	if len(p2.Rules) != len(p.Rules) {
+		t.Fatalf("rules = %d, want %d", len(p2.Rules), len(p.Rules))
+	}
+	db1, _ := p.Eval()
+	db2, _ := p2.Eval()
+	if db1.Size() != db2.Size() {
+		t.Errorf("models differ: %d vs %d", db1.Size(), db2.Size())
+	}
+}
+
+// Property: transitive closure via Datalog equals direct graph reachability.
+func TestQuickTransitiveClosure(t *testing.T) {
+	f := func(edges []uint8) bool {
+		if len(edges) > 24 {
+			edges = edges[:24]
+		}
+		type edge struct{ a, b int }
+		var es []edge
+		var b strings.Builder
+		for i := 0; i+1 < len(edges); i += 2 {
+			a, c := int(edges[i]%6), int(edges[i+1]%6)
+			es = append(es, edge{a, c})
+			fmt.Fprintf(&b, "e(n%d, n%d).\n", a, c)
+		}
+		if len(es) == 0 {
+			return true
+		}
+		b.WriteString("tc(X, Y) :- e(X, Y).\ntc(X, Z) :- e(X, Y), tc(Y, Z).\n")
+		prog, err := Parse(b.String())
+		if err != nil {
+			return false
+		}
+		db, err := prog.Eval()
+		if err != nil {
+			return false
+		}
+		// Reference: BFS reachability.
+		adj := map[int][]int{}
+		for _, e := range es {
+			adj[e.a] = append(adj[e.a], e.b)
+		}
+		reach := map[[2]int]bool{}
+		for s := 0; s < 6; s++ {
+			stack := append([]int(nil), adj[s]...)
+			seen := map[int]bool{}
+			for len(stack) > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if seen[n] {
+					continue
+				}
+				seen[n] = true
+				reach[[2]int{s, n}] = true
+				stack = append(stack, adj[n]...)
+			}
+		}
+		if len(db.Facts("tc", 2)) != len(reach) {
+			return false
+		}
+		for pair := range reach {
+			got := db.Query(Atom{"tc", []Term{S(fmt.Sprintf("n%d", pair[0])), S(fmt.Sprintf("n%d", pair[1]))}})
+			if got.Size() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package engine_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bindings"
+	"repro/internal/engine"
+	"repro/internal/grh"
+	"repro/internal/protocol"
+	"repro/internal/ruleml"
+	"repro/internal/services"
+	"repro/internal/system"
+	"repro/internal/xmltree"
+)
+
+// TestAsyncWorkers: with a worker pool, detections queue and Wait drains.
+func TestAsyncWorkers(t *testing.T) {
+	g := grh.New()
+	var mu sync.Mutex
+	executed := 0
+	g.Register(grh.Descriptor{
+		Language:       services.ActionNS,
+		Kinds:          []ruleml.ComponentKind{ruleml.ActionComponent},
+		FrameworkAware: true,
+		Local: grh.ServiceFunc(func(req *protocol.Request) (*protocol.Answer, error) {
+			mu.Lock()
+			executed += req.Bindings.Size()
+			mu.Unlock()
+			return &protocol.Answer{}, nil
+		}),
+	})
+	g.Register(grh.Descriptor{
+		Language:       services.MatcherNS,
+		Kinds:          []ruleml.ComponentKind{ruleml.EventComponent},
+		FrameworkAware: true,
+		Local: grh.ServiceFunc(func(*protocol.Request) (*protocol.Answer, error) {
+			return &protocol.Answer{}, nil
+		}),
+	})
+	g.SetDefault(ruleml.EventComponent, services.MatcherNS)
+	g.SetDefault(ruleml.ActionComponent, services.ActionNS)
+
+	e := engine.New(g, engine.WithWorkers(4))
+	rule := ruleml.MustParse(`<eca:rule xmlns:eca="` + protocol.ECANS + `" xmlns:t="http://t/" id="async">
+	  <eca:event><t:e x="$X"/></eca:event>
+	  <eca:action><t:a x="$X"/></eca:action>
+	</eca:rule>`)
+	if err := e.Register(rule); err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n/4; i++ {
+				e.OnDetection(&protocol.Answer{
+					RuleID: "async",
+					Rows: []protocol.AnswerRow{
+						{Tuple: bindings.MustTuple("X", bindings.Num(float64(w*1000+i)))},
+					},
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	e.Wait()
+	st := e.Stats()
+	if st.InstancesCreated != n || st.InstancesCompleted != n {
+		t.Fatalf("stats = %+v", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if executed != n {
+		t.Fatalf("executed = %d", executed)
+	}
+}
+
+// TestAsyncEndToEnd: the full car-rental system with a worker pool produces
+// the same results as the synchronous engine.
+func TestAsyncEndToEnd(t *testing.T) {
+	sys, err := system.NewLocal(system.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap in an async engine and repoint detection delivery through it.
+	async := engine.New(sys.GRH, engine.WithWorkers(8))
+	sys.Engine = async
+	// NewLocal wired the services' Deliverer to the original engine; build
+	// a fresh matcher delivering to the async one.
+	rule := ruleml.MustParse(`<eca:rule xmlns:eca="` + protocol.ECANS + `" xmlns:t="http://t/" id="r">
+	  <eca:event><t:e x="$X"/></eca:event>
+	  <eca:action><t:a x="$X"/></eca:action>
+	</eca:rule>`)
+	deliver := &services.Deliverer{Local: async.OnDetection}
+	matcher := services.NewEventMatcher(sys.Stream, deliver)
+	defer matcher.Close()
+	if err := sys.GRH.Register(grh.Descriptor{
+		Language:       services.MatcherNS,
+		Kinds:          []ruleml.ComponentKind{ruleml.EventComponent},
+		FrameworkAware: true,
+		Local:          matcher,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := async.Register(rule); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		payload := xmltree.NewElement("http://t/", "e")
+		payload.SetAttr("", "x", "1")
+		sys.Stream.Publish(eventsNew(payload))
+	}
+	async.Wait()
+	if got := len(sys.Notifier.Sent()); got != 100 {
+		t.Fatalf("notifications = %d", got)
+	}
+}

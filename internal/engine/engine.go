@@ -1,0 +1,367 @@
+// Package engine implements the ECA engine of Section 4: it registers
+// rules, submits their event components for detection through the Generic
+// Request Handler (Fig. 5), receives detection messages (Fig. 6), creates
+// rule instances with the detected variable bindings, and drives each
+// instance through its query, test and action components with the
+// tuple-of-bindings join semantics of Section 3 (Figs. 7–11).
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bindings"
+	"repro/internal/grh"
+	"repro/internal/protocol"
+	"repro/internal/ruleml"
+	"repro/internal/services"
+)
+
+// Logger receives human-readable evaluation traces; the ecabench harness
+// uses it to print the message flows of the paper's figures.
+type Logger interface {
+	Logf(format string, args ...any)
+}
+
+// LoggerFunc adapts a function to the Logger interface.
+type LoggerFunc func(format string, args ...any)
+
+// Logf calls f.
+func (f LoggerFunc) Logf(format string, args ...any) { f(format, args...) }
+
+// Stats counts engine activity.
+type Stats struct {
+	RulesRegistered    int
+	InstancesCreated   int
+	InstancesCompleted int
+	InstancesDied      int // relation became empty before the actions
+	ActionRuns         int // action component dispatches (per instance per action)
+}
+
+// Engine is the ECA engine. Safe for concurrent use; rule instances run
+// synchronously on the goroutine delivering the detection message, so a
+// single-threaded event feed yields deterministic evaluation order.
+type Engine struct {
+	grh      *grh.GRH
+	analyzer ruleml.Analyzer
+	replyTo  string
+	log      Logger
+
+	mu    sync.Mutex
+	rules map[string]*RuleState
+	seq   int
+	stats Stats
+
+	// Worker pool for asynchronous instance evaluation (WithWorkers).
+	jobs     chan instanceJob
+	inFlight sync.WaitGroup
+}
+
+type instanceJob struct {
+	rs  *RuleState
+	rel *bindings.Relation
+}
+
+// RuleState is the engine's bookkeeping for one registered rule.
+type RuleState struct {
+	Rule *ruleml.Rule
+	// Firings counts completed instances (actions executed).
+	Firings int
+	// Died counts instances whose relation became empty.
+	Died int
+}
+
+// Option configures the engine.
+type Option func(*Engine)
+
+// WithAnalyzer overrides the variable analyzer used for rule validation.
+func WithAnalyzer(a ruleml.Analyzer) Option { return func(e *Engine) { e.analyzer = a } }
+
+// WithReplyTo sets the detection callback URL passed to remote event
+// services on registration.
+func WithReplyTo(url string) Option { return func(e *Engine) { e.replyTo = url } }
+
+// WithLogger installs an evaluation trace logger.
+func WithLogger(l Logger) Option { return func(e *Engine) { e.log = l } }
+
+// WithWorkers evaluates rule instances asynchronously on n worker
+// goroutines instead of on the detection-delivering goroutine. Useful when
+// component services are remote: instances then overlap their HTTP round
+// trips. Call Wait to drain in-flight instances.
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n <= 0 {
+			return
+		}
+		e.jobs = make(chan instanceJob, 4*n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for j := range e.jobs {
+					e.runInstance(j.rs, j.rel)
+					e.inFlight.Done()
+				}
+			}()
+		}
+	}
+}
+
+// New builds an engine over a Generic Request Handler.
+func New(g *grh.GRH, opts ...Option) *Engine {
+	e := &Engine{grh: g, rules: map[string]*RuleState{}}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Wait blocks until every instance accepted so far has finished evaluating.
+// It is a no-op for synchronous engines.
+func (e *Engine) Wait() { e.inFlight.Wait() }
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.log != nil {
+		e.log.Logf(format, args...)
+	}
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Rules returns the registered rule ids, sorted.
+func (e *Engine) Rules() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.rules))
+	for id := range e.rules {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RuleState returns the bookkeeping for a rule id.
+func (e *Engine) RuleState(id string) (*RuleState, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rs, ok := e.rules[id]
+	return rs, ok
+}
+
+// Register validates the rule and registers its event component with the
+// appropriate detection service via the GRH (Fig. 5). Rules without an id
+// are assigned rule-N.
+func (e *Engine) Register(rule *ruleml.Rule) error {
+	if err := ruleml.Validate(rule, e.analyzer); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	if rule.ID == "" {
+		e.seq++
+		rule.ID = fmt.Sprintf("rule-%d", e.seq)
+	}
+	if _, dup := e.rules[rule.ID]; dup {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: rule %q already registered", rule.ID)
+	}
+	e.rules[rule.ID] = &RuleState{Rule: rule}
+	e.stats.RulesRegistered++
+	e.mu.Unlock()
+
+	e.logf("register rule %s: submitting event component %s (language %s) to GRH",
+		rule.ID, rule.Event.ID, orDefault(rule.Event.Language, "atomic"))
+	_, err := e.grh.Dispatch(protocol.RegisterEvent, grh.Component{
+		Rule:     rule.ID,
+		Comp:     rule.Event,
+		Bindings: bindings.NewRelation(),
+		ReplyTo:  e.replyTo,
+	})
+	if err != nil {
+		e.mu.Lock()
+		delete(e.rules, rule.ID)
+		e.stats.RulesRegistered--
+		e.mu.Unlock()
+		return fmt.Errorf("engine: registering event component of %s: %w", rule.ID, err)
+	}
+	return nil
+}
+
+// Unregister withdraws a rule and its event registration.
+func (e *Engine) Unregister(id string) error {
+	e.mu.Lock()
+	rs, ok := e.rules[id]
+	if ok {
+		delete(e.rules, id)
+	}
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("engine: no rule %q", id)
+	}
+	_, err := e.grh.Dispatch(protocol.UnregisterEvent, grh.Component{
+		Rule:     id,
+		Comp:     rs.Rule.Event,
+		Bindings: bindings.NewRelation(),
+	})
+	return err
+}
+
+// OnDetection is the entry point for event detection messages (Fig. 6):
+// the local sink of in-process event services, and the HTTP callback
+// handler target in distributed deployments. One rule instance is created
+// per answer tuple; instances are evaluated synchronously.
+func (e *Engine) OnDetection(a *protocol.Answer) {
+	e.mu.Lock()
+	rs, ok := e.rules[a.RuleID]
+	e.mu.Unlock()
+	if !ok {
+		e.logf("detection for unknown rule %q dropped", a.RuleID)
+		return
+	}
+	for _, row := range a.Rows {
+		tuple := row.Tuple
+		if rs.Rule.Event.Variable != "" && len(row.Results) > 0 {
+			tuple = tuple.Clone()
+			tuple[rs.Rule.Event.Variable] = row.Results[0]
+		}
+		e.mu.Lock()
+		e.stats.InstancesCreated++
+		e.mu.Unlock()
+		e.logf("rule %s: event %s detected, instance created with %s",
+			a.RuleID, a.Component, tuple)
+		rel := bindings.NewRelation(tuple)
+		if e.jobs != nil {
+			e.inFlight.Add(1)
+			e.jobs <- instanceJob{rs, rel}
+			continue
+		}
+		e.runInstance(rs, rel)
+	}
+}
+
+// runInstance drives one rule instance through its steps and actions.
+func (e *Engine) runInstance(rs *RuleState, rel *bindings.Relation) {
+	rule := rs.Rule
+	for _, step := range rule.Steps {
+		var err error
+		rel, err = e.evalStep(rule, step, rel)
+		if err != nil {
+			e.logf("rule %s: %s failed: %v — instance aborted", rule.ID, step.ID, err)
+			e.died(rs)
+			return
+		}
+		e.logf("rule %s: after %s: %d tuple(s)", rule.ID, step.ID, rel.Size())
+		if rel.Empty() {
+			e.logf("rule %s: relation empty after %s — instance eliminated", rule.ID, step.ID)
+			e.died(rs)
+			return
+		}
+	}
+	for _, action := range rule.Actions {
+		_, err := e.grh.Dispatch(protocol.Action, grh.Component{
+			Rule:     rule.ID,
+			Comp:     action,
+			Bindings: rel,
+		})
+		e.mu.Lock()
+		e.stats.ActionRuns++
+		e.mu.Unlock()
+		if err != nil {
+			e.logf("rule %s: action %s failed: %v", rule.ID, action.ID, err)
+			e.died(rs)
+			return
+		}
+		e.logf("rule %s: action %s executed for %d tuple(s)", rule.ID, action.ID, rel.Size())
+	}
+	e.mu.Lock()
+	rs.Firings++
+	e.stats.InstancesCompleted++
+	e.mu.Unlock()
+}
+
+func (e *Engine) died(rs *RuleState) {
+	e.mu.Lock()
+	rs.Died++
+	e.stats.InstancesDied++
+	e.mu.Unlock()
+}
+
+// evalStep evaluates one query or test component against the instance
+// relation.
+func (e *Engine) evalStep(rule *ruleml.Rule, step ruleml.Component, rel *bindings.Relation) (*bindings.Relation, error) {
+	if step.Kind == ruleml.TestComponent && e.isLocalTest(step) {
+		// Section 4.5: the test component is in general evaluated locally.
+		return services.EvalTest(step.Text, rel)
+	}
+	// Only the relevant bindings travel to the service (Section 4.4): the
+	// variables the component's expression references.
+	analyze := e.analyzer
+	if analyze == nil {
+		analyze = ruleml.DefaultAnalyzer
+	}
+	uses := analyze(step).Uses
+	input := rel.Project(uses...)
+	kind := protocol.Query
+	if step.Kind == ruleml.TestComponent {
+		kind = protocol.Test
+	}
+	answer, err := e.grh.Dispatch(kind, grh.Component{
+		Rule:     rule.ID,
+		Comp:     step,
+		Bindings: input,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if step.Variable != "" {
+		// <eca:variable>: each functional result yields a separate
+		// binding of the variable, Cartesian with the matching input
+		// tuples (Fig. 8).
+		return extendWithResults(rel, input, answer, step.Variable), nil
+	}
+	// Plain component: natural join with the answer tuples (Fig. 11).
+	return rel.Join(answer.Relation()), nil
+}
+
+func (e *Engine) isLocalTest(step ruleml.Component) bool {
+	if !step.Opaque || step.Service != "" {
+		return false
+	}
+	return step.Language == "" || step.Language == services.TestNS
+}
+
+// extendWithResults implements the eca:variable semantics: for every tuple
+// of the full relation, the functional results produced for its projection
+// become separate bindings of the variable.
+func extendWithResults(full, projected *bindings.Relation, a *protocol.Answer, variable string) *bindings.Relation {
+	// Index answer rows by their tuple's identity over the projected vars.
+	vars := projected.Vars()
+	results := map[string][]bindings.Value{}
+	for _, row := range a.Rows {
+		k := projKey(row.Tuple, vars)
+		results[k] = append(results[k], row.Results...)
+	}
+	return full.Extend(variable, func(t bindings.Tuple) []bindings.Value {
+		return results[projKey(t, vars)]
+	})
+}
+
+func projKey(t bindings.Tuple, vars []string) string {
+	parts := make([]string, 0, len(vars))
+	for _, v := range vars {
+		if val, ok := t[v]; ok {
+			parts = append(parts, v+"="+val.Key())
+		}
+	}
+	return fmt.Sprint(parts)
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

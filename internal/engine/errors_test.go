@@ -1,0 +1,229 @@
+package engine_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bindings"
+	"repro/internal/engine"
+	"repro/internal/grh"
+	"repro/internal/protocol"
+	"repro/internal/ruleml"
+	"repro/internal/services"
+	"repro/internal/system"
+	"repro/internal/xmltree"
+)
+
+// failingService returns an error for every request of the given kind.
+type failingService struct{ kind protocol.RequestKind }
+
+func (f failingService) Handle(req *protocol.Request) (*protocol.Answer, error) {
+	if req.Kind == f.kind {
+		return nil, fmt.Errorf("synthetic %s failure", f.kind)
+	}
+	return &protocol.Answer{}, nil
+}
+
+func wiring(t *testing.T, queryFails, actionFails bool) (*engine.Engine, *[]string) {
+	t.Helper()
+	g := grh.New()
+	var logLines []string
+	ok := grh.ServiceFunc(func(req *protocol.Request) (*protocol.Answer, error) {
+		return protocol.NewAnswer(req.RuleID, req.Component, req.Bindings), nil
+	})
+	reg := func(lang string, kind ruleml.ComponentKind, svc grh.Service) {
+		if err := g.Register(grh.Descriptor{Language: lang, Kinds: []ruleml.ComponentKind{kind}, FrameworkAware: true, Local: svc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg(services.MatcherNS, ruleml.EventComponent, ok)
+	if queryFails {
+		reg(services.XQueryNS, ruleml.QueryComponent, failingService{protocol.Query})
+	} else {
+		reg(services.XQueryNS, ruleml.QueryComponent, ok)
+	}
+	if actionFails {
+		reg(services.ActionNS, ruleml.ActionComponent, failingService{protocol.Action})
+	} else {
+		reg(services.ActionNS, ruleml.ActionComponent, ok)
+	}
+	g.SetDefault(ruleml.EventComponent, services.MatcherNS)
+	g.SetDefault(ruleml.QueryComponent, services.XQueryNS)
+	g.SetDefault(ruleml.ActionComponent, services.ActionNS)
+	e := engine.New(g, engine.WithLogger(engine.LoggerFunc(func(format string, args ...any) {
+		logLines = append(logLines, fmt.Sprintf(format, args...))
+	})))
+	return e, &logLines
+}
+
+const errRule = `<eca:rule xmlns:eca="http://www.semwebtech.org/languages/2006/eca-ml"
+    xmlns:t="http://t/" xmlns:xq="http://www.semwebtech.org/languages/2006/xquery" id="err">
+  <eca:event><t:e x="$X"/></eca:event>
+  <eca:query binds="Y"><xq:query>irrelevant($X)</xq:query></eca:query>
+  <eca:action><t:a x="$X"/></eca:action>
+</eca:rule>`
+
+func detect(e *engine.Engine) {
+	e.OnDetection(&protocol.Answer{
+		RuleID: "err",
+		Rows:   []protocol.AnswerRow{{Tuple: bindings.MustTuple("X", bindings.Str("1"))}},
+	})
+}
+
+func TestQueryFailureAbortsInstance(t *testing.T) {
+	e, logs := wiring(t, true, false)
+	if err := e.Register(ruleml.MustParse(errRule)); err != nil {
+		t.Fatal(err)
+	}
+	detect(e)
+	st := e.Stats()
+	if st.InstancesDied != 1 || st.InstancesCompleted != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	joined := strings.Join(*logs, "\n")
+	if !strings.Contains(joined, "instance aborted") {
+		t.Errorf("logs lack abort notice:\n%s", joined)
+	}
+}
+
+func TestActionFailureCountsAsDied(t *testing.T) {
+	e, _ := wiring(t, false, true)
+	if err := e.Register(ruleml.MustParse(errRule)); err != nil {
+		t.Fatal(err)
+	}
+	detect(e)
+	st := e.Stats()
+	if st.InstancesDied != 1 || st.ActionRuns != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDetectionForUnknownRuleDropped(t *testing.T) {
+	e, logs := wiring(t, false, false)
+	e.OnDetection(&protocol.Answer{RuleID: "ghost", Rows: []protocol.AnswerRow{{Tuple: bindings.Tuple{}}}})
+	if e.Stats().InstancesCreated != 0 {
+		t.Error("ghost detection created an instance")
+	}
+	if !strings.Contains(strings.Join(*logs, "\n"), "unknown rule") {
+		t.Error("drop not logged")
+	}
+}
+
+func TestRegisterFailsWhenEventServiceUnavailable(t *testing.T) {
+	g := grh.New() // nothing registered at all
+	e := engine.New(g)
+	err := e.Register(ruleml.MustParse(`<eca:rule xmlns:eca="` + protocol.ECANS + `" xmlns:t="http://t/" id="x">
+	  <eca:event><t:e/></eca:event>
+	  <eca:action><t:a/></eca:action>
+	</eca:rule>`))
+	if err == nil {
+		t.Fatal("registration should fail without an event service")
+	}
+	// The failed rule must not linger.
+	if len(e.Rules()) != 0 {
+		t.Errorf("rules = %v", e.Rules())
+	}
+}
+
+func TestRulesAndRuleState(t *testing.T) {
+	sys, err := system.NewLocal(system.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"b-rule", "a-rule"} {
+		r := ruleml.MustParse(`<eca:rule xmlns:eca="` + protocol.ECANS + `" xmlns:t="http://t/" id="` + id + `">
+		  <eca:event><t:e/></eca:event>
+		  <eca:action><t:a/></eca:action>
+		</eca:rule>`)
+		if err := sys.Engine.Register(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := strings.Join(sys.Engine.Rules(), ","); got != "a-rule,b-rule" {
+		t.Errorf("rules = %q (sorted)", got)
+	}
+	sys.Stream.Publish(eventsNew(xmltree.NewElement("http://t/", "e")))
+	rs, ok := sys.Engine.RuleState("a-rule")
+	if !ok || rs.Firings != 1 {
+		t.Errorf("rule state = %+v, %v", rs, ok)
+	}
+	if _, ok := sys.Engine.RuleState("nope"); ok {
+		t.Error("unknown rule state should be absent")
+	}
+}
+
+// TestMultiRowDetectionCreatesInstances: one detection message with N
+// answer tuples creates N independent rule instances (Fig. 6: "one or more
+// instances … according to the number of answer elements").
+func TestMultiRowDetectionCreatesInstances(t *testing.T) {
+	e, _ := wiring(t, false, false)
+	rule := ruleml.MustParse(`<eca:rule xmlns:eca="` + protocol.ECANS + `" xmlns:t="http://t/" id="err">
+	  <eca:event><t:e x="$X"/></eca:event>
+	  <eca:action><t:a x="$X"/></eca:action>
+	</eca:rule>`)
+	if err := e.Register(rule); err != nil {
+		t.Fatal(err)
+	}
+	e.OnDetection(&protocol.Answer{
+		RuleID: "err",
+		Rows: []protocol.AnswerRow{
+			{Tuple: bindings.MustTuple("X", bindings.Str("1"))},
+			{Tuple: bindings.MustTuple("X", bindings.Str("2"))},
+			{Tuple: bindings.MustTuple("X", bindings.Str("3"))},
+		},
+	})
+	st := e.Stats()
+	if st.InstancesCreated != 3 || st.InstancesCompleted != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestAutoAssignedRuleIDs: rules without ids get rule-N.
+func TestAutoAssignedRuleIDs(t *testing.T) {
+	sys, err := system.NewLocal(system.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		r := ruleml.MustParse(`<eca:rule xmlns:eca="` + protocol.ECANS + `" xmlns:t="http://t/">
+		  <eca:event><t:e/></eca:event>
+		  <eca:action><t:a/></eca:action>
+		</eca:rule>`)
+		if err := sys.Engine.Register(r); err != nil {
+			t.Fatal(err)
+		}
+		if r.ID == "" {
+			t.Fatal("no id assigned")
+		}
+	}
+	if got := strings.Join(sys.Engine.Rules(), ","); got != "rule-1,rule-2" {
+		t.Errorf("auto ids = %q", got)
+	}
+}
+
+// TestCustomEngineAnalyzer: WithAnalyzer feeds both validation and
+// projection.
+func TestCustomEngineAnalyzer(t *testing.T) {
+	sys, err := system.NewLocal(system.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzer := func(c ruleml.Component) ruleml.VarAnalysis {
+		a := ruleml.DefaultAnalyzer(c)
+		if c.Kind == ruleml.QueryComponent {
+			a.Binds = append(a.Binds, "Anything")
+		}
+		return a
+	}
+	e := engine.New(sys.GRH, engine.WithAnalyzer(analyzer))
+	r := ruleml.MustParse(`<eca:rule xmlns:eca="` + protocol.ECANS + `"
+	    xmlns:t="http://t/" xmlns:xq="` + services.XQueryNS + `" id="c">
+	  <eca:event><t:e/></eca:event>
+	  <eca:query><xq:query>()</xq:query></eca:query>
+	  <eca:action><t:a x="$Anything"/></eca:action>
+	</eca:rule>`)
+	if err := e.Register(r); err != nil {
+		t.Fatalf("custom analyzer should allow $Anything: %v", err)
+	}
+}

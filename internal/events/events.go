@@ -1,0 +1,323 @@
+// Package events defines the event model of the framework: events are XML
+// fragments marked up in a domain namespace (e.g. <travel:booking
+// person="John Doe" from="Munich" to="Paris"/>), carried on an event stream,
+// and matched against atomic event patterns that bind logical variables —
+// the Atomic Event Matcher of Section 4.2.
+package events
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bindings"
+	"repro/internal/xmltree"
+)
+
+// Event is one event occurrence: the marked-up event payload plus its
+// position in the stream (Seq, strictly increasing per stream) and the wall
+// time it was observed.
+type Event struct {
+	Payload *xmltree.Node
+	Seq     uint64
+	Time    time.Time
+}
+
+// New wraps an XML payload as an event occurrence with the current time;
+// Seq is assigned by the Stream on publication.
+func New(payload *xmltree.Node) Event {
+	return Event{Payload: payload.Root(), Time: time.Now()}
+}
+
+// String renders the event for traces.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s", e.Seq, e.Payload.String())
+}
+
+// Stream is a pub/sub broker for events. Subscribers are invoked
+// synchronously, in subscription order, on the publisher's goroutine, which
+// gives rules deterministic detection order. Safe for concurrent use.
+type Stream struct {
+	mu   sync.Mutex
+	seq  uint64
+	subs map[int]func(Event)
+	next int
+}
+
+// NewStream returns an empty stream.
+func NewStream() *Stream {
+	return &Stream{subs: map[int]func(Event){}}
+}
+
+// Subscribe registers a handler for every future event and returns a
+// cancel function.
+func (s *Stream) Subscribe(f func(Event)) (cancel func()) {
+	s.mu.Lock()
+	id := s.next
+	s.next++
+	s.subs[id] = f
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		delete(s.subs, id)
+		s.mu.Unlock()
+	}
+}
+
+// Publish stamps the event with the next sequence number and delivers it to
+// all subscribers. It returns the stamped event.
+func (s *Stream) Publish(ev Event) Event {
+	s.mu.Lock()
+	s.seq++
+	ev.Seq = s.seq
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	handlers := make([]func(Event), 0, len(s.subs))
+	for i := 0; i < s.next; i++ {
+		if h, ok := s.subs[i]; ok {
+			handlers = append(handlers, h)
+		}
+	}
+	s.mu.Unlock()
+	for _, h := range handlers {
+		h(ev)
+	}
+	return ev
+}
+
+// --- atomic event patterns -------------------------------------------------------
+
+// Pattern is an atomic event pattern: an XML template whose attribute
+// values and text content may be variables ($Name). Matching an event
+// yields the tuples of variable bindings; a pattern with no variables
+// yields one empty tuple on match.
+//
+// Matching rules:
+//   - the pattern element matches an event element with the same name;
+//   - every pattern attribute must be present on the event; a "$Var" value
+//     binds the variable (joining if already bound), otherwise values must
+//     be equal;
+//   - every pattern child element must match some event child (each event
+//     child used at most once per combination); extra event children are
+//     ignored;
+//   - pattern text content of the form "$Var" binds the element's text;
+//     other non-whitespace text must equal the event's text.
+type Pattern struct {
+	root *xmltree.Node
+}
+
+// NewPattern builds a pattern from a template element (the root element is
+// used if a document is given).
+func NewPattern(template *xmltree.Node) (*Pattern, error) {
+	r := template.Root()
+	if r == nil {
+		return nil, fmt.Errorf("events: pattern has no root element")
+	}
+	return &Pattern{root: r}, nil
+}
+
+// MustPattern parses a pattern from XML source, panicking on error.
+func MustPattern(src string) *Pattern {
+	p, err := NewPattern(xmltree.MustParse(src))
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name returns the event name the pattern matches.
+func (p *Pattern) Name() xmltree.Name { return p.root.Name }
+
+// Vars returns the variable names the pattern binds, sorted.
+func (p *Pattern) Vars() []string {
+	set := map[string]bool{}
+	var walk func(n *xmltree.Node)
+	walk = func(n *xmltree.Node) {
+		for _, a := range n.Attrs {
+			if v, ok := varName(a.Value); ok && !a.IsNamespaceDecl() {
+				set[v] = true
+			}
+		}
+		if v, ok := varName(ownText(n)); ok {
+			set[v] = true
+		}
+		for _, c := range n.ChildElements() {
+			walk(c)
+		}
+	}
+	walk(p.root)
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// varName reports whether s is a variable reference "$Name".
+func varName(s string) (string, bool) {
+	s = strings.TrimSpace(s)
+	if len(s) > 1 && s[0] == '$' {
+		return s[1:], true
+	}
+	return "", false
+}
+
+// ownText returns the concatenated direct text children of n.
+func ownText(n *xmltree.Node) string {
+	var b strings.Builder
+	for _, c := range n.Children {
+		if c.Kind == xmltree.TextNode {
+			b.WriteString(c.Text)
+		}
+	}
+	return b.String()
+}
+
+// Match matches the pattern against an event and returns the resulting
+// tuples of variable bindings (empty slice: no match). Multiple tuples
+// arise when repeated pattern children match different event children.
+func (p *Pattern) Match(ev Event) []bindings.Tuple {
+	if ev.Payload == nil {
+		return nil
+	}
+	return matchElement(p.root, ev.Payload, bindings.Tuple{})
+}
+
+func matchElement(pat, ev *xmltree.Node, t bindings.Tuple) []bindings.Tuple {
+	if pat.Name != ev.Name {
+		return nil
+	}
+	cur := t.Clone()
+	for _, a := range pat.Attrs {
+		if a.IsNamespaceDecl() {
+			continue
+		}
+		got, ok := ev.Attr(a.Name.Space, a.Name.Local)
+		if !ok {
+			return nil
+		}
+		if v, isVar := varName(a.Value); isVar {
+			if !bindVar(cur, v, bindings.Str(got)) {
+				return nil
+			}
+			continue
+		}
+		if a.Value != got {
+			return nil
+		}
+	}
+	if txt := strings.TrimSpace(ownText(pat)); txt != "" {
+		evTxt := strings.TrimSpace(ownText(ev))
+		if v, isVar := varName(txt); isVar {
+			if !bindVar(cur, v, bindings.Str(evTxt)) {
+				return nil
+			}
+		} else if txt != evTxt {
+			return nil
+		}
+	}
+	patKids := pat.ChildElements()
+	if len(patKids) == 0 {
+		return []bindings.Tuple{cur}
+	}
+	evKids := ev.ChildElements()
+	return matchChildren(patKids, evKids, cur)
+}
+
+// matchChildren assigns each pattern child to a distinct event child,
+// collecting every consistent combination of bindings.
+func matchChildren(patKids, evKids []*xmltree.Node, t bindings.Tuple) []bindings.Tuple {
+	if len(patKids) == 0 {
+		return []bindings.Tuple{t}
+	}
+	var out []bindings.Tuple
+	first, rest := patKids[0], patKids[1:]
+	for i, ek := range evKids {
+		for _, t2 := range matchElement(first, ek, t) {
+			remaining := make([]*xmltree.Node, 0, len(evKids)-1)
+			remaining = append(remaining, evKids[:i]...)
+			remaining = append(remaining, evKids[i+1:]...)
+			out = append(out, matchChildren(rest, remaining, t2)...)
+		}
+	}
+	return out
+}
+
+func bindVar(t bindings.Tuple, name string, v bindings.Value) bool {
+	if old, ok := t[name]; ok {
+		return old.Equal(v)
+	}
+	t[name] = v
+	return true
+}
+
+// Matcher is the Atomic Event Matcher service core: a set of registered
+// patterns evaluated against every published event. Safe for concurrent use.
+type Matcher struct {
+	mu       sync.Mutex
+	patterns map[string]*registration
+}
+
+type registration struct {
+	pattern *Pattern
+	sink    func(Detection)
+}
+
+// Detection is delivered to a registration's sink for every event matching
+// its pattern: the identifying key, the tuples of variable bindings and the
+// matched event.
+type Detection struct {
+	Key      string
+	Bindings []bindings.Tuple
+	Event    Event
+}
+
+// NewMatcher returns an empty matcher.
+func NewMatcher() *Matcher {
+	return &Matcher{patterns: map[string]*registration{}}
+}
+
+// Register adds a pattern under a key (replacing any previous registration
+// with that key); sink is called for each matching event.
+func (m *Matcher) Register(key string, p *Pattern, sink func(Detection)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.patterns[key] = &registration{p, sink}
+}
+
+// Unregister removes a registration and reports whether it existed.
+func (m *Matcher) Unregister(key string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.patterns[key]
+	delete(m.patterns, key)
+	return ok
+}
+
+// Len returns the number of registrations.
+func (m *Matcher) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.patterns)
+}
+
+// OnEvent matches all registered patterns against the event, delivering a
+// Detection per matching registration. It is the handler to subscribe to a
+// Stream.
+func (m *Matcher) OnEvent(ev Event) {
+	m.mu.Lock()
+	regs := make(map[string]*registration, len(m.patterns))
+	for k, r := range m.patterns {
+		regs[k] = r
+	}
+	m.mu.Unlock()
+	for key, r := range regs {
+		if ts := r.pattern.Match(ev); len(ts) > 0 {
+			r.sink(Detection{Key: key, Bindings: ts, Event: ev})
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package grh
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/bindings"
+	"repro/internal/protocol"
+	"repro/internal/ruleml"
+	"repro/internal/xmltree"
+)
+
+func TestHTTPDispatchBadAnswerXML(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "this is not xml")
+	}))
+	defer srv.Close()
+	g := New()
+	g.Register(Descriptor{Language: "http://bad/", FrameworkAware: true, Endpoint: srv.URL})
+	_, err := g.Dispatch(protocol.Query, Component{
+		Rule:     "r",
+		Comp:     ruleml.Component{Kind: ruleml.QueryComponent, Language: "http://bad/", Expression: xmltree.NewElement("http://bad/", "q")},
+		Bindings: bindings.NewRelation(),
+	})
+	if err == nil || !strings.Contains(err.Error(), "bad answer") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHTTPDispatchWrongAnswerRoot(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "<notanswers/>")
+	}))
+	defer srv.Close()
+	g := New()
+	g.Register(Descriptor{Language: "http://bad/", FrameworkAware: true, Endpoint: srv.URL})
+	_, err := g.Dispatch(protocol.Query, Component{
+		Rule:     "r",
+		Comp:     ruleml.Component{Kind: ruleml.QueryComponent, Language: "http://bad/", Expression: xmltree.NewElement("http://bad/", "q")},
+		Bindings: bindings.NewRelation(),
+	})
+	if err == nil {
+		t.Error("wrong answer root should fail")
+	}
+}
+
+func TestOpaqueWithoutEndpoint(t *testing.T) {
+	g := New()
+	_, err := g.Dispatch(protocol.Query, Component{
+		Rule:     "r",
+		Comp:     ruleml.Component{Kind: ruleml.QueryComponent, Opaque: true, Language: "x", Text: "q"},
+		Bindings: bindings.NewRelation(bindings.MustTuple("X", bindings.Str("1"))),
+	})
+	if err == nil {
+		t.Error("opaque without endpoint and without registered language should fail")
+	}
+}
+
+// TestRegisteredUnawareService: a language registered with FrameworkAware
+// false routes through opaque mediation at the descriptor's endpoint.
+func TestRegisteredUnawareService(t *testing.T) {
+	var hits int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		fmt.Fprint(w, `<r><v>ok</v></r>`)
+	}))
+	defer srv.Close()
+	g := New()
+	g.Register(Descriptor{Language: "http://unaware/", FrameworkAware: false, Endpoint: srv.URL})
+	a, err := g.Dispatch(protocol.Query, Component{
+		Rule: "r",
+		Comp: ruleml.Component{
+			Kind: ruleml.QueryComponent, Opaque: true,
+			Language: "http://unaware/", Text: "query $X", Service: srv.URL,
+		},
+		Bindings: bindings.NewRelation(bindings.MustTuple("X", bindings.Str("1"))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != 1 || len(a.Rows) != 1 {
+		t.Fatalf("hits=%d rows=%d", hits, len(a.Rows))
+	}
+}
+
+// TestMarkedUpComponentToUnawareService: even non-opaque components route
+// through opaque mediation if the registered processor is unaware — the
+// GRH "uses information about the communication protocol" (Section 4.4).
+func TestMarkedUpOpaqueText(t *testing.T) {
+	// An opaque component whose language IS registered (framework-aware):
+	// the GRH wraps the text in an eca:opaque expression for the service.
+	var gotText string
+	svc := ServiceFunc(func(req *protocol.Request) (*protocol.Answer, error) {
+		gotText = strings.TrimSpace(req.Expression.TextContent())
+		return &protocol.Answer{}, nil
+	})
+	g := New()
+	g.Register(Descriptor{Language: "http://aware/", FrameworkAware: true, Local: svc})
+	_, err := g.Dispatch(protocol.Query, Component{
+		Rule:     "r",
+		Comp:     ruleml.Component{Kind: ruleml.QueryComponent, Opaque: true, Language: "http://aware/", Text: "the query"},
+		Bindings: bindings.NewRelation(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotText != "the query" {
+		t.Errorf("service saw %q", gotText)
+	}
+}
+
+func TestOpaqueHTTPErrorPropagates(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusTeapot)
+	}))
+	defer srv.Close()
+	g := New()
+	_, err := g.Dispatch(protocol.Query, Component{
+		Rule:     "r",
+		Comp:     ruleml.Component{Kind: ruleml.QueryComponent, Opaque: true, Language: "x", Service: srv.URL, Text: "q"},
+		Bindings: bindings.NewRelation(bindings.MustTuple("X", bindings.Str("1"))),
+	})
+	if err == nil || !strings.Contains(err.Error(), "418") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOpaqueEmptyResponseYieldsNoRows(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	g := New()
+	a, err := g.Dispatch(protocol.Query, Component{
+		Rule:     "r",
+		Comp:     ruleml.Component{Kind: ruleml.QueryComponent, Opaque: true, Language: "x", Service: srv.URL, Text: "q"},
+		Bindings: bindings.NewRelation(bindings.MustTuple("X", bindings.Str("1"))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 0 {
+		t.Errorf("rows = %+v", a.Rows)
+	}
+}
+
+func TestOpaqueLogAnswersIncompatibleTuplesDropped(t *testing.T) {
+	// The log:answers produced by the raw node disagrees with the input
+	// tuple on a shared variable → that row is dropped during merge.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `<log:answers xmlns:log="`+protocol.LogNS+`">
+			<log:answer><log:variable name="Dest">Paris</log:variable><log:variable name="C">ok</log:variable></log:answer>
+			<log:answer><log:variable name="Dest">Rome</log:variable><log:variable name="C">bad</log:variable></log:answer>
+		</log:answers>`)
+	}))
+	defer srv.Close()
+	g := New()
+	a, err := g.Dispatch(protocol.Query, Component{
+		Rule:     "r",
+		Comp:     ruleml.Component{Kind: ruleml.QueryComponent, Opaque: true, Language: "x", Service: srv.URL, Text: "q"},
+		Bindings: bindings.NewRelation(bindings.MustTuple("Dest", bindings.Str("Paris"))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 1 || a.Rows[0].Tuple["C"].AsString() != "ok" {
+		t.Fatalf("rows = %+v", a.Rows)
+	}
+}

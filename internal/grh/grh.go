@@ -1,0 +1,413 @@
+// Package grh implements the Generic Request Handler of Section 4.4: the
+// mediator between the ECA engine and the heterogeneous component language
+// services. It inspects the language (namespace URI) of a component,
+// resolves an appropriate processor from its registry, and forwards the
+// request in the form the processor understands:
+//
+//   - framework-aware services receive the full eca:request envelope
+//     (in-process call or HTTP POST) and answer with log:answers;
+//   - framework-unaware (opaque) services receive a raw query string via
+//     HTTP GET, once per input tuple, with variables substituted by their
+//     values; the GRH re-wraps their raw results as functional results —
+//     unless the service happens to return a log:answers document itself
+//     (Fig. 10's "faked" framework awareness), which is decoded directly.
+package grh
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/bindings"
+	"repro/internal/protocol"
+	"repro/internal/ruleml"
+	"repro/internal/xmltree"
+)
+
+// Service is the in-process interface of a framework-aware component
+// language service. Event services deliver detections asynchronously
+// through the sink they were constructed with and answer registration
+// requests with an empty Answer.
+type Service interface {
+	Handle(req *protocol.Request) (*protocol.Answer, error)
+}
+
+// ServiceFunc adapts a function to the Service interface.
+type ServiceFunc func(req *protocol.Request) (*protocol.Answer, error)
+
+// Handle calls f.
+func (f ServiceFunc) Handle(req *protocol.Request) (*protocol.Answer, error) { return f(req) }
+
+// Descriptor describes one registered language processor, mirroring the
+// language resource descriptions of Fig. 1 (language → processor →
+// service).
+type Descriptor struct {
+	// Language is the namespace URI the processor implements.
+	Language string
+	// Name is a human-readable label ("SNOOP detection service").
+	Name string
+	// Kinds lists the component kinds the processor accepts.
+	Kinds []ruleml.ComponentKind
+	// FrameworkAware services understand eca:request/log:answers; the
+	// others get opaque mediation.
+	FrameworkAware bool
+	// Local is the in-process implementation; when nil, Endpoint is used.
+	Local Service
+	// Endpoint is the HTTP URL of a remote processor.
+	Endpoint string
+}
+
+// TraceFunc observes GRH traffic for the message-flow reproductions:
+// direction is "→" (request) or "←" (answer), peer names the service.
+type TraceFunc func(direction, peer string, payload *xmltree.Node)
+
+// GRH is the Generic Request Handler. Safe for concurrent use.
+type GRH struct {
+	mu       sync.RWMutex
+	byLang   map[string]*Descriptor
+	defaults map[ruleml.ComponentKind]string // kind → language URI fallback
+	client   *http.Client
+	trace    TraceFunc
+}
+
+// New returns an empty GRH using http.DefaultClient for remote calls.
+func New() *GRH {
+	return &GRH{
+		byLang:   map[string]*Descriptor{},
+		defaults: map[ruleml.ComponentKind]string{},
+		client:   http.DefaultClient,
+	}
+}
+
+// SetClient replaces the HTTP client used for remote services.
+func (g *GRH) SetClient(c *http.Client) { g.client = c }
+
+// SetTrace installs a traffic observer (nil disables tracing).
+func (g *GRH) SetTrace(t TraceFunc) {
+	g.mu.Lock()
+	g.trace = t
+	g.mu.Unlock()
+}
+
+func (g *GRH) emitTrace(direction, peer string, payload *xmltree.Node) {
+	g.mu.RLock()
+	t := g.trace
+	g.mu.RUnlock()
+	if t != nil {
+		t(direction, peer, payload)
+	}
+}
+
+// Register adds a language processor to the registry, replacing any
+// previous registration for the same language.
+func (g *GRH) Register(d Descriptor) error {
+	if d.Language == "" {
+		return fmt.Errorf("grh: descriptor without language URI")
+	}
+	if d.Local == nil && d.Endpoint == "" {
+		return fmt.Errorf("grh: descriptor %q has neither a local service nor an endpoint", d.Language)
+	}
+	g.mu.Lock()
+	g.byLang[d.Language] = &d
+	g.mu.Unlock()
+	return nil
+}
+
+// SetDefault makes the given language the fallback processor for a
+// component kind, used when a component's expression is a bare
+// domain-level pattern (e.g. an atomic event pattern with no event-language
+// markup, which goes to the Atomic Event Matcher per Section 4.2).
+func (g *GRH) SetDefault(kind ruleml.ComponentKind, language string) {
+	g.mu.Lock()
+	g.defaults[kind] = language
+	g.mu.Unlock()
+}
+
+// Languages returns the registered language URIs, sorted.
+func (g *GRH) Languages() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.byLang))
+	for l := range g.byLang {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the descriptor for a language URI.
+func (g *GRH) Lookup(language string) (*Descriptor, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	d, ok := g.byLang[language]
+	return d, ok
+}
+
+// resolve finds the processor for a request: explicit language, else the
+// kind default.
+func (g *GRH) resolve(kind ruleml.ComponentKind, language string) (*Descriptor, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if language != "" {
+		if d, ok := g.byLang[language]; ok {
+			return d, nil
+		}
+	}
+	if def, ok := g.defaults[kind]; ok {
+		if d, ok := g.byLang[def]; ok {
+			return d, nil
+		}
+	}
+	if language == "" {
+		return nil, fmt.Errorf("grh: no default %s processor registered", kind)
+	}
+	return nil, fmt.Errorf("grh: no processor for language %s", language)
+}
+
+// Component carries what the GRH needs to evaluate one rule component: the
+// parsed component plus the rule id and input bindings.
+type Component struct {
+	Rule     string
+	Comp     ruleml.Component
+	Bindings *bindings.Relation
+	// ReplyTo is the detection callback URL for event registrations
+	// handled by remote services.
+	ReplyTo string
+}
+
+// Dispatch evaluates a component request and returns the service's answer.
+// Event registrations return an empty answer; detections arrive through the
+// event service's sink (in-process) or the ReplyTo callback (remote).
+func (g *GRH) Dispatch(kind protocol.RequestKind, c Component) (*protocol.Answer, error) {
+	req := &protocol.Request{
+		Kind:      kind,
+		RuleID:    c.Rule,
+		Component: c.Comp.ID,
+		Language:  c.Comp.Language,
+		Bindings:  c.Bindings,
+		ReplyTo:   c.ReplyTo,
+	}
+	if c.Comp.Opaque {
+		// Directly addressed framework-unaware service (uri attribute)?
+		if c.Comp.Service != "" {
+			if d, ok := g.Lookup(c.Comp.Language); !ok || !d.FrameworkAware {
+				return g.opaqueMediate(c)
+			}
+		}
+		// Opaque text for a registered language: wrap as an expression the
+		// service's own parser handles.
+		expr := xmltree.NewElement(protocol.ECANS, "opaque")
+		expr.SetAttr("", "language", c.Comp.Language)
+		expr.AppendText(c.Comp.Text)
+		req.Expression = expr
+	} else {
+		req.Expression = c.Comp.Expression
+	}
+	d, err := g.resolve(c.Comp.Kind, c.Comp.Language)
+	if err != nil {
+		if c.Comp.Opaque && c.Comp.Service != "" {
+			// No registered processor: fall back to opaque mediation
+			// against the pinned endpoint.
+			return g.opaqueMediate(c)
+		}
+		return nil, err
+	}
+	if !d.FrameworkAware {
+		return g.opaqueMediateVia(c, d.Endpoint)
+	}
+	if !kindAllowed(d, c.Comp.Kind) {
+		return nil, fmt.Errorf("grh: processor %q does not accept %s components", d.Language, c.Comp.Kind)
+	}
+	if d.Local != nil {
+		g.emitTrace("→", d.name(), protocol.EncodeRequest(req))
+		a, err := d.Local.Handle(req)
+		if err != nil {
+			return nil, fmt.Errorf("grh: %s: %w", d.name(), err)
+		}
+		g.emitTrace("←", d.name(), protocol.EncodeAnswers(a))
+		return a, nil
+	}
+	return g.httpDispatch(d, req)
+}
+
+func (d *Descriptor) name() string {
+	if d.Name != "" {
+		return d.Name
+	}
+	return d.Language
+}
+
+func kindAllowed(d *Descriptor, k ruleml.ComponentKind) bool {
+	if len(d.Kinds) == 0 {
+		return true
+	}
+	for _, kk := range d.Kinds {
+		if kk == k {
+			return true
+		}
+	}
+	return false
+}
+
+// httpDispatch POSTs the request envelope to a framework-aware remote
+// service and decodes the log:answers response.
+func (g *GRH) httpDispatch(d *Descriptor, req *protocol.Request) (*protocol.Answer, error) {
+	payload := protocol.EncodeRequest(req)
+	g.emitTrace("→", d.name(), payload)
+	resp, err := g.client.Post(d.Endpoint, "application/xml", strings.NewReader(payload.String()))
+	if err != nil {
+		return nil, fmt.Errorf("grh: POST %s: %w", d.Endpoint, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, fmt.Errorf("grh: read %s: %w", d.Endpoint, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("grh: %s: HTTP %d: %s", d.Endpoint, resp.StatusCode, truncate(string(body), 300))
+	}
+	doc, err := xmltree.ParseString(string(body))
+	if err != nil {
+		return nil, fmt.Errorf("grh: %s: bad answer: %w", d.Endpoint, err)
+	}
+	a, err := protocol.DecodeAnswers(doc)
+	if err != nil {
+		return nil, fmt.Errorf("grh: %s: %w", d.Endpoint, err)
+	}
+	g.emitTrace("←", d.name(), doc)
+	return a, nil
+}
+
+// opaqueMediate handles an opaque component pinned to a service URI.
+func (g *GRH) opaqueMediate(c Component) (*protocol.Answer, error) {
+	return g.opaqueMediateVia(c, c.Comp.Service)
+}
+
+// opaqueMediateVia implements the framework-unaware protocol of Fig. 9:
+// one HTTP GET per input tuple, variables substituted into the query
+// string, raw results re-wrapped as functional results.
+func (g *GRH) opaqueMediateVia(c Component, endpoint string) (*protocol.Answer, error) {
+	if endpoint == "" {
+		return nil, fmt.Errorf("grh: opaque component %s has no service endpoint", c.Comp.ID)
+	}
+	if c.Comp.Kind == ruleml.EventComponent {
+		return nil, fmt.Errorf("grh: event components cannot use framework-unaware services")
+	}
+	a := &protocol.Answer{RuleID: c.Rule, Component: c.Comp.ID}
+	tuples := c.Bindings.Tuples()
+	if c.Bindings.Empty() {
+		return a, nil
+	}
+	for _, t := range tuples {
+		q := SubstituteVars(c.Comp.Text, t)
+		u := endpoint
+		if strings.Contains(u, "?") {
+			u += "&query=" + url.QueryEscape(q)
+		} else {
+			u += "?query=" + url.QueryEscape(q)
+		}
+		g.emitTrace("→", endpoint, traceGet(u, q))
+		resp, err := g.client.Get(u)
+		if err != nil {
+			return nil, fmt.Errorf("grh: GET %s: %w", endpoint, err)
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("grh: read %s: %w", endpoint, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("grh: %s: HTTP %d: %s", endpoint, resp.StatusCode, truncate(string(body), 300))
+		}
+		rows, err := decodeOpaqueResults(t, string(body))
+		if err != nil {
+			return nil, fmt.Errorf("grh: %s: %w", endpoint, err)
+		}
+		a.Rows = append(a.Rows, rows...)
+		for _, r := range rows {
+			g.emitTrace("←", endpoint, protocol.EncodeAnswers(&protocol.Answer{Rows: []protocol.AnswerRow{r}}))
+		}
+	}
+	return a, nil
+}
+
+func traceGet(u, q string) *xmltree.Node {
+	n := xmltree.NewElement(protocol.ECANS, "http-get")
+	n.SetAttr("", "url", u)
+	n.AppendText(q)
+	return n
+}
+
+// decodeOpaqueResults turns a framework-unaware service's raw response into
+// answer rows for one input tuple:
+//   - a log:answers document (the Fig. 10 trick) is decoded directly, its
+//     tuples joined with the input tuple;
+//   - any other XML document yields one functional result per child element
+//     of the root (or the root's text when it has no element children);
+//   - a non-XML body yields one functional result per non-empty line.
+func decodeOpaqueResults(input bindings.Tuple, body string) ([]protocol.AnswerRow, error) {
+	trimmed := strings.TrimSpace(body)
+	if trimmed == "" {
+		return nil, nil
+	}
+	if strings.HasPrefix(trimmed, "<") {
+		doc, err := xmltree.ParseString(trimmed)
+		if err != nil {
+			return nil, fmt.Errorf("unparsable XML response: %w", err)
+		}
+		root := doc.Root()
+		if root.Name.Space == protocol.LogNS && root.Name.Local == "answers" {
+			dec, err := protocol.DecodeAnswers(doc)
+			if err != nil {
+				return nil, err
+			}
+			var rows []protocol.AnswerRow
+			for _, r := range dec.Rows {
+				if !input.Compatible(r.Tuple) {
+					continue
+				}
+				rows = append(rows, protocol.AnswerRow{Tuple: input.Merge(r.Tuple), Results: r.Results})
+			}
+			return rows, nil
+		}
+		var results []bindings.Value
+		if kids := root.ChildElements(); len(kids) > 0 {
+			for _, k := range kids {
+				results = append(results, bindings.Fragment(k.Clone()))
+			}
+		} else {
+			results = append(results, bindings.Str(strings.TrimSpace(root.TextContent())))
+		}
+		return []protocol.AnswerRow{{Tuple: input, Results: results}}, nil
+	}
+	var results []bindings.Value
+	for _, line := range strings.Split(trimmed, "\n") {
+		if s := strings.TrimSpace(line); s != "" {
+			results = append(results, bindings.Str(s))
+		}
+	}
+	return []protocol.AnswerRow{{Tuple: input, Results: results}}, nil
+}
+
+// SubstituteVars replaces $Name occurrences in an opaque query string with
+// the values bound in the tuple, longest names first so $OwnCarX never
+// hijacks $OwnCar.
+func SubstituteVars(q string, t bindings.Tuple) string {
+	names := t.Vars()
+	sort.Slice(names, func(i, j int) bool { return len(names[i]) > len(names[j]) })
+	for _, n := range names {
+		q = strings.ReplaceAll(q, "$"+n, t[n].AsString())
+	}
+	return q
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

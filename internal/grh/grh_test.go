@@ -1,0 +1,322 @@
+package grh
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/bindings"
+	"repro/internal/protocol"
+	"repro/internal/ruleml"
+	"repro/internal/xmltree"
+)
+
+func TestRegistryLookupAndDefaults(t *testing.T) {
+	g := New()
+	echo := ServiceFunc(func(req *protocol.Request) (*protocol.Answer, error) {
+		return protocol.NewAnswer(req.RuleID, req.Component, req.Bindings), nil
+	})
+	if err := g.Register(Descriptor{Language: "http://l1/", Local: echo, FrameworkAware: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Register(Descriptor{Language: "http://l2/", Local: echo, FrameworkAware: true}); err != nil {
+		t.Fatal(err)
+	}
+	g.SetDefault(ruleml.QueryComponent, "http://l1/")
+	if got := g.Languages(); len(got) != 2 {
+		t.Errorf("languages = %v", got)
+	}
+	if _, ok := g.Lookup("http://l1/"); !ok {
+		t.Error("lookup failed")
+	}
+	// Dispatch with explicit language.
+	a, err := g.Dispatch(protocol.Query, Component{
+		Rule:     "r",
+		Comp:     ruleml.Component{Kind: ruleml.QueryComponent, ID: "query[1]", Language: "http://l2/", Expression: xmltree.NewElement("http://l2/", "q")},
+		Bindings: bindings.NewRelation(bindings.MustTuple("X", bindings.Str("1"))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 1 {
+		t.Errorf("rows = %v", a.Rows)
+	}
+	// Dispatch falling back to the kind default (no language).
+	if _, err := g.Dispatch(protocol.Query, Component{
+		Rule:     "r",
+		Comp:     ruleml.Component{Kind: ruleml.QueryComponent, ID: "query[2]", Expression: xmltree.NewElement("", "bare")},
+		Bindings: bindings.NewRelation(),
+	}); err != nil {
+		t.Fatalf("default dispatch: %v", err)
+	}
+	// Unknown language without default.
+	if _, err := g.Dispatch(protocol.Action, Component{
+		Rule:     "r",
+		Comp:     ruleml.Component{Kind: ruleml.ActionComponent, ID: "action[1]", Language: "http://nowhere/", Expression: xmltree.NewElement("http://nowhere/", "a")},
+		Bindings: bindings.NewRelation(),
+	}); err == nil {
+		t.Error("unknown language should fail")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	g := New()
+	if err := g.Register(Descriptor{Language: ""}); err == nil {
+		t.Error("missing language should fail")
+	}
+	if err := g.Register(Descriptor{Language: "x"}); err == nil {
+		t.Error("missing service should fail")
+	}
+}
+
+func TestKindRestriction(t *testing.T) {
+	g := New()
+	echo := ServiceFunc(func(req *protocol.Request) (*protocol.Answer, error) {
+		return &protocol.Answer{}, nil
+	})
+	g.Register(Descriptor{
+		Language:       "http://q/",
+		Kinds:          []ruleml.ComponentKind{ruleml.QueryComponent},
+		FrameworkAware: true,
+		Local:          echo,
+	})
+	_, err := g.Dispatch(protocol.Action, Component{
+		Rule:     "r",
+		Comp:     ruleml.Component{Kind: ruleml.ActionComponent, Language: "http://q/", Expression: xmltree.NewElement("http://q/", "a")},
+		Bindings: bindings.NewRelation(),
+	})
+	if err == nil || !strings.Contains(err.Error(), "does not accept") {
+		t.Errorf("kind restriction not enforced: %v", err)
+	}
+}
+
+func TestHTTPDispatchRoundTrip(t *testing.T) {
+	// A framework-aware remote service: echoes input bindings with one
+	// extra variable.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		doc, err := xmltree.Parse(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), 400)
+			return
+		}
+		req, err := protocol.DecodeRequest(doc)
+		if err != nil {
+			http.Error(w, err.Error(), 400)
+			return
+		}
+		out := bindings.NewRelation()
+		for _, tup := range req.Bindings.Tuples() {
+			n := tup.Clone()
+			n["Extra"] = bindings.Str("yes")
+			out.Add(n)
+		}
+		fmt.Fprint(w, protocol.EncodeAnswers(protocol.NewAnswer(req.RuleID, req.Component, out)).String())
+	}))
+	defer srv.Close()
+	g := New()
+	g.Register(Descriptor{Language: "http://remote/", FrameworkAware: true, Endpoint: srv.URL})
+	a, err := g.Dispatch(protocol.Query, Component{
+		Rule:     "r7",
+		Comp:     ruleml.Component{Kind: ruleml.QueryComponent, ID: "query[1]", Language: "http://remote/", Expression: xmltree.NewElement("http://remote/", "q")},
+		Bindings: bindings.NewRelation(bindings.MustTuple("P", bindings.Str("John"))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RuleID != "r7" || len(a.Rows) != 1 {
+		t.Fatalf("answer = %+v", a)
+	}
+	if a.Rows[0].Tuple["Extra"].AsString() != "yes" || a.Rows[0].Tuple["P"].AsString() != "John" {
+		t.Errorf("tuple = %v", a.Rows[0].Tuple)
+	}
+}
+
+func TestHTTPDispatchErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	g := New()
+	g.Register(Descriptor{Language: "http://broken/", FrameworkAware: true, Endpoint: srv.URL})
+	_, err := g.Dispatch(protocol.Query, Component{
+		Rule:     "r",
+		Comp:     ruleml.Component{Kind: ruleml.QueryComponent, Language: "http://broken/", Expression: xmltree.NewElement("http://broken/", "q")},
+		Bindings: bindings.NewRelation(),
+	})
+	if err == nil || !strings.Contains(err.Error(), "HTTP 500") {
+		t.Errorf("expected HTTP 500 error, got %v", err)
+	}
+}
+
+// TestOpaqueMediation reproduces the Fig. 9 protocol: one GET per input
+// tuple, variables substituted, results re-wrapped.
+func TestOpaqueMediation(t *testing.T) {
+	var queries []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("query")
+		queries = append(queries, q)
+		switch {
+		case strings.Contains(q, "Golf"):
+			fmt.Fprint(w, `<results><value>C</value></results>`)
+		case strings.Contains(q, "Passat"):
+			fmt.Fprint(w, `<results><value>B</value></results>`)
+		default:
+			fmt.Fprint(w, `<results/>`)
+		}
+	}))
+	defer srv.Close()
+	g := New()
+	a, err := g.Dispatch(protocol.Query, Component{
+		Rule: "r",
+		Comp: ruleml.Component{
+			Kind: ruleml.QueryComponent, ID: "query[2]",
+			Opaque: true, Language: "unknown-lang", Service: srv.URL,
+			Text: `//entry[@model='$OwnCar']/@class`,
+		},
+		Bindings: bindings.NewRelation(
+			bindings.MustTuple("OwnCar", bindings.Str("VW Golf")),
+			bindings.MustTuple("OwnCar", bindings.Str("VW Passat")),
+		),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) != 2 {
+		t.Fatalf("GETs = %d, want one per tuple", len(queries))
+	}
+	if !strings.Contains(queries[0], "VW Golf") {
+		t.Errorf("substitution missing: %q", queries[0])
+	}
+	if len(a.Rows) != 2 {
+		t.Fatalf("rows = %+v", a.Rows)
+	}
+	got := map[string]string{}
+	for _, row := range a.Rows {
+		if len(row.Results) != 1 {
+			t.Fatalf("row results = %v", row.Results)
+		}
+		got[row.Tuple["OwnCar"].AsString()] = row.Results[0].AsString()
+	}
+	if got["VW Golf"] != "C" || got["VW Passat"] != "B" {
+		t.Errorf("classes = %v", got)
+	}
+}
+
+// TestOpaqueLogAnswers reproduces Fig. 10: the raw response already is a
+// log:answers document and is decoded as if the service were framework
+// aware.
+func TestOpaqueLogAnswers(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `<log:answers xmlns:log="`+protocol.LogNS+`">
+			<log:answer><log:variable name="Class">B</log:variable><log:variable name="Avail">Astra</log:variable></log:answer>
+			<log:answer><log:variable name="Class">D</log:variable><log:variable name="Avail">Espace</log:variable></log:answer>
+		</log:answers>`)
+	}))
+	defer srv.Close()
+	g := New()
+	a, err := g.Dispatch(protocol.Query, Component{
+		Rule: "r",
+		Comp: ruleml.Component{
+			Kind: ruleml.QueryComponent, ID: "query[3]",
+			Opaque: true, Language: "raw", Service: srv.URL,
+			Text: "irrelevant",
+		},
+		Bindings: bindings.NewRelation(bindings.MustTuple("Dest", bindings.Str("Paris"))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 2 {
+		t.Fatalf("rows = %+v", a.Rows)
+	}
+	// Tuples must be joined with the input tuple.
+	for _, row := range a.Rows {
+		if row.Tuple["Dest"].AsString() != "Paris" {
+			t.Errorf("input tuple not merged: %v", row.Tuple)
+		}
+	}
+}
+
+func TestOpaquePlainTextResponse(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "alpha\nbeta\n")
+	}))
+	defer srv.Close()
+	g := New()
+	a, err := g.Dispatch(protocol.Query, Component{
+		Rule:     "r",
+		Comp:     ruleml.Component{Kind: ruleml.QueryComponent, Opaque: true, Language: "txt", Service: srv.URL, Text: "q"},
+		Bindings: bindings.NewRelation(bindings.MustTuple("X", bindings.Str("1"))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 1 || len(a.Rows[0].Results) != 2 {
+		t.Fatalf("rows = %+v", a.Rows)
+	}
+}
+
+func TestOpaqueEventRejected(t *testing.T) {
+	g := New()
+	_, err := g.Dispatch(protocol.RegisterEvent, Component{
+		Rule:     "r",
+		Comp:     ruleml.Component{Kind: ruleml.EventComponent, Opaque: true, Language: "x", Service: "http://localhost:1/", Text: "e"},
+		Bindings: bindings.NewRelation(),
+	})
+	if err == nil {
+		t.Error("opaque event components must be rejected")
+	}
+}
+
+func TestSubstituteVars(t *testing.T) {
+	tup := bindings.MustTuple(
+		"OwnCar", bindings.Str("VW Golf"),
+		"OwnCarX", bindings.Str("OTHER"),
+		"N", bindings.Num(5),
+	)
+	got := SubstituteVars(`m='$OwnCar' x='$OwnCarX' n=$N`, tup)
+	want := `m='VW Golf' x='OTHER' n=5`
+	if got != want {
+		t.Errorf("SubstituteVars = %q, want %q", got, want)
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	g := New()
+	var lines []string
+	g.SetTrace(func(dir, peer string, payload *xmltree.Node) {
+		lines = append(lines, dir+" "+peer)
+	})
+	echo := ServiceFunc(func(req *protocol.Request) (*protocol.Answer, error) {
+		return &protocol.Answer{}, nil
+	})
+	g.Register(Descriptor{Language: "http://l/", Name: "echo", FrameworkAware: true, Local: echo})
+	g.Dispatch(protocol.Query, Component{
+		Rule:     "r",
+		Comp:     ruleml.Component{Kind: ruleml.QueryComponent, Language: "http://l/", Expression: xmltree.NewElement("http://l/", "q")},
+		Bindings: bindings.NewRelation(),
+	})
+	if len(lines) != 2 || lines[0] != "→ echo" || lines[1] != "← echo" {
+		t.Errorf("trace = %v", lines)
+	}
+}
+
+func TestEmptyBindingsSkipOpaqueCalls(t *testing.T) {
+	calls := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		fmt.Fprint(w, "<r/>")
+	}))
+	defer srv.Close()
+	g := New()
+	a, err := g.Dispatch(protocol.Query, Component{
+		Rule:     "r",
+		Comp:     ruleml.Component{Kind: ruleml.QueryComponent, Opaque: true, Language: "x", Service: srv.URL, Text: "q"},
+		Bindings: bindings.NewRelation(),
+	})
+	if err != nil || calls != 0 || len(a.Rows) != 0 {
+		t.Errorf("empty input should make no calls: calls=%d err=%v", calls, err)
+	}
+}

@@ -1,0 +1,99 @@
+package ontology
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/grh"
+	"repro/internal/rdf"
+	"repro/internal/ruleml"
+)
+
+// Descriptors reconstructs GRH service descriptors from the language
+// resources described in an RDF graph — the paper's "the language
+// descriptions (as resource descriptions) provide pointers to appropriate
+// Web Services". Only languages whose service records an endpoint are
+// returned (in-process implementations cannot be minted from RDF).
+func Descriptors(g *rdf.Graph) []grh.Descriptor {
+	typ := rdf.NewIRI(rdf.RDFType)
+	label := rdf.NewIRI(rdf.RDFSLabel)
+	familyKinds := []struct {
+		class rdf.Term
+		kind  ruleml.ComponentKind
+	}{
+		{ClassEventLanguage, ruleml.EventComponent},
+		{ClassQueryLanguage, ruleml.QueryComponent},
+		{ClassTestLanguage, ruleml.TestComponent},
+		{ClassActionLanguage, ruleml.ActionComponent},
+	}
+	// Collect per-language kind sets via the subclass closures.
+	kindsByLang := map[rdf.Term][]ruleml.ComponentKind{}
+	for _, fk := range familyKinds {
+		closure := g.SubClassClosure(fk.class)
+		for cls := range closure {
+			for _, t := range g.Match(nil, &typ, &cls) {
+				kindsByLang[t.S] = append(kindsByLang[t.S], fk.kind)
+			}
+		}
+	}
+	var out []grh.Descriptor
+	for lang, kinds := range kindsByLang {
+		if lang.Kind != rdf.IRI {
+			continue
+		}
+		d := grh.Descriptor{Language: lang.Value, Kinds: dedupeKinds(kinds)}
+		for _, t := range g.Match(&lang, &label, nil) {
+			d.Name = t.O.Value
+		}
+		for _, t := range g.Match(&lang, &PropImplementedBy, nil) {
+			svc := t.O
+			for _, e := range g.Match(&svc, &PropEndpoint, nil) {
+				d.Endpoint = e.O.Value
+			}
+			for _, a := range g.Match(&svc, &PropFrameworkAware, nil) {
+				d.FrameworkAware = a.O.Value == "true" || a.O.Value == "1"
+			}
+		}
+		if d.Endpoint == "" {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func dedupeKinds(ks []ruleml.ComponentKind) []ruleml.ComponentKind {
+	seen := map[ruleml.ComponentKind]bool{}
+	var out []ruleml.ComponentKind
+	for _, k := range ks {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// RegisterFromGraph registers every endpoint-bearing language description
+// of the graph in a GRH, returning the number registered.
+func RegisterFromGraph(reg *grh.GRH, g *rdf.Graph) (int, error) {
+	ds := Descriptors(g)
+	for _, d := range ds {
+		if err := reg.Register(d); err != nil {
+			return 0, err
+		}
+	}
+	return len(ds), nil
+}
+
+// RegisterFromTurtle reads language descriptions in Turtle (the on-disk
+// registry format of cmd/ecad's -registry flag) and registers them.
+func RegisterFromTurtle(reg *grh.GRH, r io.Reader) (int, error) {
+	triples, err := rdf.ParseTurtle(r)
+	if err != nil {
+		return 0, fmt.Errorf("ontology: registry: %w", err)
+	}
+	g := Base()
+	g.AddAll(triples)
+	return RegisterFromGraph(reg, g)
+}

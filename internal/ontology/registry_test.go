@@ -1,0 +1,141 @@
+package ontology
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/bindings"
+	"repro/internal/grh"
+	"repro/internal/protocol"
+	"repro/internal/rdf"
+	"repro/internal/ruleml"
+	"repro/internal/xmltree"
+)
+
+// TestRegistryRoundTrip: describe a registry as RDF, rebuild descriptors
+// from the graph, and verify the service pointers survive.
+func TestRegistryRoundTrip(t *testing.T) {
+	g := Base()
+	orig := []grh.Descriptor{
+		{
+			Language: "http://lang/a", Name: "A service",
+			Kinds:          []ruleml.ComponentKind{ruleml.QueryComponent},
+			FrameworkAware: true, Endpoint: "http://host/a",
+		},
+		{
+			Language: "http://lang/b", Name: "B detector",
+			Kinds:          []ruleml.ComponentKind{ruleml.EventComponent},
+			FrameworkAware: false, Endpoint: "http://host/b",
+		},
+	}
+	for _, d := range orig {
+		DescribeLanguage(g, d)
+	}
+	got := Descriptors(g)
+	if len(got) != 2 {
+		t.Fatalf("descriptors = %d: %+v", len(got), got)
+	}
+	byLang := map[string]grh.Descriptor{}
+	for _, d := range got {
+		byLang[d.Language] = d
+	}
+	a := byLang["http://lang/a"]
+	if a.Name != "A service" || a.Endpoint != "http://host/a" || !a.FrameworkAware {
+		t.Errorf("a = %+v", a)
+	}
+	if len(a.Kinds) != 1 || a.Kinds[0] != ruleml.QueryComponent {
+		t.Errorf("a kinds = %v", a.Kinds)
+	}
+	b := byLang["http://lang/b"]
+	if b.FrameworkAware {
+		t.Errorf("b should not be framework aware")
+	}
+}
+
+// TestRegisterFromTurtle: a Turtle registry file drives live dispatch.
+func TestRegisterFromTurtle(t *testing.T) {
+	// A trivial framework-aware echo service.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		doc, _ := xmltree.Parse(r.Body)
+		req, err := protocol.DecodeRequest(doc)
+		if err != nil {
+			http.Error(w, err.Error(), 400)
+			return
+		}
+		fmt.Fprint(w, protocol.EncodeAnswers(protocol.NewAnswer(req.RuleID, req.Component, req.Bindings)).String())
+	}))
+	defer srv.Close()
+
+	ttl := `
+@prefix eca: <` + NS + `> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+<http://lang/echo> a eca:QueryLanguage ;
+    rdfs:label "echo service" ;
+    eca:implementedBy <http://lang/echo#service> .
+<http://lang/echo#service> a eca:Service ;
+    eca:endpoint "` + srv.URL + `" ;
+    eca:frameworkAware true .
+`
+	reg := grh.New()
+	n, err := RegisterFromTurtle(reg, strings.NewReader(ttl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("registered %d", n)
+	}
+	a, err := reg.Dispatch(protocol.Query, grh.Component{
+		Rule: "r",
+		Comp: ruleml.Component{
+			Kind: ruleml.QueryComponent, ID: "query[1]",
+			Language:   "http://lang/echo",
+			Expression: xmltree.NewElement("http://lang/echo", "q"),
+		},
+		Bindings: bindings.NewRelation(bindings.MustTuple("X", bindings.Str("1"))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 1 || a.Rows[0].Tuple["X"].AsString() != "1" {
+		t.Fatalf("answer = %+v", a)
+	}
+}
+
+func TestRegisterFromTurtleErrors(t *testing.T) {
+	reg := grh.New()
+	if _, err := RegisterFromTurtle(reg, strings.NewReader("@prefix broken")); err == nil {
+		t.Error("broken turtle should fail")
+	}
+}
+
+// TestDescriptorsSkipEndpointless: local-only descriptions are not minted.
+func TestDescriptorsSkipEndpointless(t *testing.T) {
+	g := Base()
+	DescribeLanguage(g, grh.Descriptor{
+		Language: "http://lang/local",
+		Kinds:    []ruleml.ComponentKind{ruleml.QueryComponent},
+	})
+	if ds := Descriptors(g); len(ds) != 0 {
+		t.Errorf("endpointless descriptors = %+v", ds)
+	}
+}
+
+// TestDescriptorsThroughSubclass: a language typed with a *subclass* of a
+// family is picked up via the closure.
+func TestDescriptorsThroughSubclass(t *testing.T) {
+	g := Base()
+	sub := rdf.NewIRI(rdf.RDFSSubClassOf)
+	myFam := rdf.NewIRI("http://fam/EventAlgebras")
+	g.Add(rdf.Triple{S: myFam, P: sub, O: ClassEventLanguage})
+	lang := rdf.NewIRI("http://lang/alg")
+	g.Add(rdf.Triple{S: lang, P: rdf.NewIRI(rdf.RDFType), O: myFam})
+	g.Add(rdf.Triple{S: lang, P: PropImplementedBy, O: rdf.NewIRI("http://lang/alg#svc")})
+	g.Add(rdf.Triple{S: rdf.NewIRI("http://lang/alg#svc"), P: PropEndpoint, O: rdf.NewLiteral("http://host/alg")})
+	ds := Descriptors(g)
+	if len(ds) != 1 || len(ds[0].Kinds) != 1 || ds[0].Kinds[0] != ruleml.EventComponent {
+		t.Fatalf("descriptors = %+v", ds)
+	}
+}

@@ -1,0 +1,153 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bindings"
+)
+
+func TestTermStringRendering(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://u/"), "<http://u/>"},
+		{NewBlank("b1"), "_:b1"},
+		{NewLiteral("plain"), `"plain"`},
+		{NewLangLiteral("bonjour", "fr"), `"bonjour"@fr`},
+		{NewTypedLiteral("5", XSDNS+"integer"), `"5"^^<http://www.w3.org/2001/XMLSchema#integer>`},
+		{NewLiteral(`quote " and \ slash`), `"quote \" and \\ slash"`},
+		{NewLiteral("line\nbreak"), `"line\nbreak"`},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String = %s, want %s", got, c.want)
+		}
+	}
+	tr := Triple{NewIRI("s"), NewIRI("p"), NewLiteral("o")}
+	if got := tr.String(); got != `<s> <p> "o" .` {
+		t.Errorf("triple = %s", got)
+	}
+}
+
+func TestTermPredicates(t *testing.T) {
+	if !NewIRI("u").IsIRI() || NewLiteral("x").IsIRI() {
+		t.Error("IsIRI")
+	}
+	if !NewLiteral("x").IsLiteral() || NewIRI("u").IsLiteral() {
+		t.Error("IsLiteral")
+	}
+}
+
+func TestSubClassClosureWithCycle(t *testing.T) {
+	g := NewGraph()
+	sub := NewIRI(RDFSSubClassOf)
+	a, b, c := NewIRI("A"), NewIRI("B"), NewIRI("C")
+	g.Add(Triple{b, sub, a})
+	g.Add(Triple{c, sub, b})
+	g.Add(Triple{a, sub, c}) // cycle
+	closure := g.SubClassClosure(a)
+	if len(closure) != 3 {
+		t.Errorf("cyclic closure = %v", closure)
+	}
+}
+
+func TestWriteTurtlePrefixSelection(t *testing.T) {
+	triples := []Triple{
+		{NewIRI("http://x/ns#alpha"), NewIRI("http://x/ns#p"), NewIRI("http://x/ns#more/deep")},
+	}
+	var b strings.Builder
+	if err := WriteTurtle(&b, triples, map[string]string{"x": "http://x/ns#"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "x:alpha x:p") {
+		t.Errorf("prefixed names missing: %s", out)
+	}
+	// "more/deep" contains '/', not a valid local name → full IRI.
+	if !strings.Contains(out, "<http://x/ns#more/deep>") {
+		t.Errorf("invalid local should stay full IRI: %s", out)
+	}
+}
+
+func TestQueryPredicateVariable(t *testing.T) {
+	g := NewGraph()
+	g.AddAll(MustParseTurtle(`
+		@prefix x: <http://x/> .
+		x:s x:p1 "a" .
+		x:s x:p2 "b" .
+	`))
+	rel := g.Query([]Pattern{{T(NewIRI("http://x/s")), V("P"), V("O")}})
+	if rel.Size() != 2 {
+		t.Fatalf("rel = %s", rel)
+	}
+}
+
+func TestQueryRepeatedVariableInOnePattern(t *testing.T) {
+	g := NewGraph()
+	g.AddAll(MustParseTurtle(`
+		@prefix x: <http://x/> .
+		x:a x:knows x:a .
+		x:a x:knows x:b .
+	`))
+	rel := g.Query([]Pattern{{V("X"), T(NewIRI("http://x/knows")), V("X")}})
+	if rel.Size() != 1 || rel.Tuples()[0]["X"].AsString() != "http://x/a" {
+		t.Fatalf("self-knows = %s", rel)
+	}
+}
+
+func TestTermToValueTyping(t *testing.T) {
+	if v := TermToValue(NewTypedLiteral("5", XSDNS+"integer")); v.Kind() != bindings.Number {
+		t.Errorf("integer → %v", v.Kind())
+	}
+	if v := TermToValue(NewTypedLiteral("true", XSDNS+"boolean")); v.Kind() != bindings.Bool {
+		t.Errorf("boolean → %v", v.Kind())
+	}
+	if v := TermToValue(NewBlank("n")); v.AsString() != "_:n" {
+		t.Errorf("blank → %v", v)
+	}
+	if v := TermToValue(NewLangLiteral("x", "en")); v.Kind() != bindings.String {
+		t.Errorf("lang literal → %v", v.Kind())
+	}
+}
+
+func TestAddAllAndDuplicates(t *testing.T) {
+	g := NewGraph()
+	tr := Triple{NewIRI("s"), NewIRI("p"), NewLiteral("o")}
+	g.AddAll([]Triple{tr, tr, tr})
+	if g.Len() != 1 {
+		t.Errorf("len = %d", g.Len())
+	}
+	if g.Add(tr) {
+		t.Error("re-add should report false")
+	}
+}
+
+func TestBaseDirective(t *testing.T) {
+	ts := MustParseTurtle(`
+		@base <http://base/> .
+		@prefix x: <http://x/> .
+		<rel> x:p <http://abs/iri> .
+	`)
+	if len(ts) != 1 {
+		t.Fatalf("triples = %v", ts)
+	}
+	if ts[0].S.Value != "http://base/rel" {
+		t.Errorf("base resolution = %s", ts[0].S.Value)
+	}
+	if ts[0].O.Value != "http://abs/iri" {
+		t.Errorf("absolute IRI modified = %s", ts[0].O.Value)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	ts := MustParseTurtle(`
+		# a leading comment
+		@prefix x: <http://x/> . # trailing comment
+		x:a x:b x:c . # another
+	`)
+	if len(ts) != 1 {
+		t.Fatalf("triples = %d", len(ts))
+	}
+}

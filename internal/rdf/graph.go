@@ -1,0 +1,269 @@
+package rdf
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/bindings"
+)
+
+// Graph is an in-memory RDF graph with subject/predicate/object indexes.
+// It is safe for concurrent use.
+type Graph struct {
+	mu      sync.RWMutex
+	triples map[Triple]struct{}
+	bySubj  map[Term][]Triple
+	byPred  map[Term][]Triple
+	byObj   map[Term][]Triple
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		triples: map[Triple]struct{}{},
+		bySubj:  map[Term][]Triple{},
+		byPred:  map[Term][]Triple{},
+		byObj:   map[Term][]Triple{},
+	}
+}
+
+// Add inserts a triple; duplicates are ignored. It reports whether the
+// triple was new.
+func (g *Graph) Add(t Triple) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.triples[t]; ok {
+		return false
+	}
+	g.triples[t] = struct{}{}
+	g.bySubj[t.S] = append(g.bySubj[t.S], t)
+	g.byPred[t.P] = append(g.byPred[t.P], t)
+	g.byObj[t.O] = append(g.byObj[t.O], t)
+	return true
+}
+
+// AddAll inserts a batch of triples.
+func (g *Graph) AddAll(ts []Triple) {
+	for _, t := range ts {
+		g.Add(t)
+	}
+}
+
+// Remove deletes a triple if present and reports whether it was there.
+func (g *Graph) Remove(t Triple) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.triples[t]; !ok {
+		return false
+	}
+	delete(g.triples, t)
+	g.bySubj[t.S] = removeTriple(g.bySubj[t.S], t)
+	g.byPred[t.P] = removeTriple(g.byPred[t.P], t)
+	g.byObj[t.O] = removeTriple(g.byObj[t.O], t)
+	return true
+}
+
+func removeTriple(ts []Triple, t Triple) []Triple {
+	for i := range ts {
+		if ts[i] == t {
+			return append(ts[:i], ts[i+1:]...)
+		}
+	}
+	return ts
+}
+
+// Len returns the number of triples.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.triples)
+}
+
+// Contains reports whether the triple is in the graph.
+func (g *Graph) Contains(t Triple) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.triples[t]
+	return ok
+}
+
+// Triples returns all triples in a deterministic order.
+func (g *Graph) Triples() []Triple {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]Triple, 0, len(g.triples))
+	for t := range g.triples {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Match returns the triples matching the given terms; nil pointers act as
+// wildcards. The most selective available index is used.
+func (g *Graph) Match(s, p, o *Term) []Triple {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var candidates []Triple
+	switch {
+	case s != nil:
+		candidates = g.bySubj[*s]
+	case o != nil:
+		candidates = g.byObj[*o]
+	case p != nil:
+		candidates = g.byPred[*p]
+	default:
+		candidates = make([]Triple, 0, len(g.triples))
+		for t := range g.triples {
+			candidates = append(candidates, t)
+		}
+	}
+	var out []Triple
+	for _, t := range candidates {
+		if (s == nil || t.S == *s) && (p == nil || t.P == *p) && (o == nil || t.O == *o) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SubClassClosure returns the set of classes reachable from class via zero
+// or more rdfs:subClassOf steps — the language-family hierarchy walk used
+// for Fig. 2 queries ("is SNOOP an event language?").
+func (g *Graph) SubClassClosure(class Term) map[Term]bool {
+	seen := map[Term]bool{class: true}
+	queue := []Term{class}
+	sub := NewIRI(RDFSSubClassOf)
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, t := range g.Match(nil, &sub, &c) {
+			if !seen[t.S] {
+				seen[t.S] = true
+				queue = append(queue, t.S)
+			}
+		}
+	}
+	return seen
+}
+
+// --- basic graph pattern queries ----------------------------------------------
+
+// PatternTerm is a term or a variable in a triple pattern. Exactly one of
+// Var and Term is meaningful: a non-empty Var makes it a variable.
+type PatternTerm struct {
+	Var  string
+	Term Term
+}
+
+// V returns a variable pattern term.
+func V(name string) PatternTerm { return PatternTerm{Var: name} }
+
+// T returns a constant pattern term.
+func T(t Term) PatternTerm { return PatternTerm{Term: t} }
+
+// Pattern is one triple pattern of a basic graph pattern.
+type Pattern struct {
+	S, P, O PatternTerm
+}
+
+// Query evaluates a basic graph pattern against the graph and returns the
+// tuples of variable bindings, ECA-framework style: variables repeated
+// across patterns act as join variables. Variables bind IRI terms to URI
+// values and literals to string/typed values.
+func (g *Graph) Query(patterns []Pattern) *bindings.Relation {
+	rel := bindings.Unit()
+	for _, p := range patterns {
+		rel = g.stepJoin(rel, p)
+		if rel.Empty() {
+			return rel
+		}
+	}
+	return rel
+}
+
+func (g *Graph) stepJoin(rel *bindings.Relation, p Pattern) *bindings.Relation {
+	out := bindings.NewRelation()
+	for _, tup := range rel.Tuples() {
+		s := resolve(p.S, tup)
+		pr := resolve(p.P, tup)
+		o := resolve(p.O, tup)
+		for _, t := range g.Match(s, pr, o) {
+			n := tup.Clone()
+			if !bindPattern(n, p.S, t.S) || !bindPattern(n, p.P, t.P) || !bindPattern(n, p.O, t.O) {
+				continue
+			}
+			out.Add(n)
+		}
+	}
+	return out
+}
+
+// resolve turns a pattern term into a concrete term filter, using an
+// existing binding when the variable is already bound. Variables bound to
+// literal values are left as wildcards so the lenient Value.Equal check in
+// bindPattern decides (exact Term equality would wrongly distinguish, e.g.,
+// a plain "5" from an xsd:integer 5); URI bindings filter exactly.
+func resolve(pt PatternTerm, tup bindings.Tuple) *Term {
+	if pt.Var == "" {
+		t := pt.Term
+		return &t
+	}
+	if v, ok := tup[pt.Var]; ok && v.Kind() == bindings.URI {
+		t := valueToTerm(v)
+		return &t
+	}
+	return nil
+}
+
+func bindPattern(tup bindings.Tuple, pt PatternTerm, t Term) bool {
+	if pt.Var == "" {
+		return true
+	}
+	v := TermToValue(t)
+	if old, ok := tup[pt.Var]; ok {
+		return old.Equal(v)
+	}
+	tup[pt.Var] = v
+	return true
+}
+
+// TermToValue converts an RDF term to a binding value: IRIs become URI
+// references, blanks become URI references with the _: prefix, literals
+// become strings (numeric XSD types become numbers).
+func TermToValue(t Term) bindings.Value {
+	switch t.Kind {
+	case IRI:
+		return bindings.Ref(t.Value)
+	case Blank:
+		return bindings.Ref("_:" + t.Value)
+	default:
+		switch t.Datatype {
+		case XSDNS + "integer", XSDNS + "decimal", XSDNS + "double", XSDNS + "float", XSDNS + "int", XSDNS + "long":
+			if f, ok := bindings.Str(t.Value).AsNumber(); ok {
+				return bindings.Num(f)
+			}
+		case XSDNS + "boolean":
+			return bindings.Boolean(t.Value == "true" || t.Value == "1")
+		}
+		return bindings.Str(t.Value)
+	}
+}
+
+// valueToTerm converts a binding value back to an RDF term for filtering.
+func valueToTerm(v bindings.Value) Term {
+	switch v.Kind() {
+	case bindings.URI:
+		if rest, ok := strings.CutPrefix(v.AsString(), "_:"); ok {
+			return NewBlank(rest)
+		}
+		return NewIRI(v.AsString())
+	case bindings.Number:
+		return NewTypedLiteral(v.AsString(), XSDNS+"integer")
+	case bindings.Bool:
+		return NewTypedLiteral(v.AsString(), XSDNS+"boolean")
+	default:
+		return NewLiteral(v.AsString())
+	}
+}

@@ -1,0 +1,106 @@
+// Package rdf implements the Semantic-Web substrate of the framework: an
+// in-memory RDF triple store with pattern matching, a Turtle-subset parser
+// and serializer, and basic-graph-pattern queries that produce tuples of
+// variable bindings compatible with the ECA engine's join semantics.
+//
+// The rule and language ontology of the paper (Fig. 1 and Fig. 2) is
+// represented as RDF resources in such a store (see internal/ontology).
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates RDF term variants.
+type TermKind int
+
+// The term kinds.
+const (
+	// IRI is an IRI reference term.
+	IRI TermKind = iota
+	// Literal is a literal term with optional language tag or datatype.
+	Literal
+	// Blank is a blank node with a local label.
+	Blank
+)
+
+// Well-known vocabulary IRIs.
+const (
+	RDFNS  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFSNS = "http://www.w3.org/2000/01/rdf-schema#"
+	XSDNS  = "http://www.w3.org/2001/XMLSchema#"
+
+	// RDFType is rdf:type, written "a" in Turtle.
+	RDFType = RDFNS + "type"
+	// RDFSSubClassOf is rdfs:subClassOf.
+	RDFSSubClassOf = RDFSNS + "subClassOf"
+	// RDFSLabel is rdfs:label.
+	RDFSLabel = RDFSNS + "label"
+)
+
+// Term is one RDF term. The zero Term is not valid; construct terms with
+// NewIRI, NewLiteral, NewLangLiteral, NewTypedLiteral or NewBlank.
+type Term struct {
+	Kind     TermKind
+	Value    string // IRI, literal lexical form, or blank label
+	Lang     string // language tag for literals
+	Datatype string // datatype IRI for literals
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: IRI, Value: iri} }
+
+// NewLiteral returns a plain literal term.
+func NewLiteral(s string) Term { return Term{Kind: Literal, Value: s} }
+
+// NewLangLiteral returns a language-tagged literal term.
+func NewLangLiteral(s, lang string) Term { return Term{Kind: Literal, Value: s, Lang: lang} }
+
+// NewTypedLiteral returns a datatyped literal term.
+func NewTypedLiteral(s, datatype string) Term {
+	return Term{Kind: Literal, Value: s, Datatype: datatype}
+}
+
+// NewBlank returns a blank node term with the given label.
+func NewBlank(label string) Term { return Term{Kind: Blank, Value: label} }
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == IRI }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == Literal }
+
+// String renders the term in N-Triples-like syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Blank:
+		return "_:" + t.Value
+	default:
+		s := `"` + escapeLiteral(t.Value) + `"`
+		if t.Lang != "" {
+			return s + "@" + t.Lang
+		}
+		if t.Datatype != "" {
+			return s + "^^<" + t.Datatype + ">"
+		}
+		return s
+	}
+}
+
+func escapeLiteral(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`, "\r", `\r`, "\t", `\t`)
+	return r.Replace(s)
+}
+
+// Triple is one RDF statement.
+type Triple struct {
+	S, P, O Term
+}
+
+// String renders the triple in N-Triples syntax (without trailing newline).
+func (t Triple) String() string {
+	return fmt.Sprintf("%s %s %s .", t.S, t.P, t.O)
+}

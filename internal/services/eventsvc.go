@@ -1,0 +1,207 @@
+package services
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bindings"
+	"repro/internal/events"
+	"repro/internal/grh"
+	"repro/internal/protocol"
+	"repro/internal/snoop"
+)
+
+// EventMatcher is the Atomic Event Matcher service of Section 4.2: rule
+// event components consisting of a single atomic event pattern are
+// registered here; every matching event on the stream produces a detection
+// message delivered through the Deliverer.
+type EventMatcher struct {
+	matcher *events.Matcher
+	deliver *Deliverer
+	mu      sync.Mutex
+	cancel  func()
+}
+
+// NewEventMatcher creates the service and subscribes it to the stream.
+func NewEventMatcher(stream *events.Stream, deliver *Deliverer) *EventMatcher {
+	m := &EventMatcher{matcher: events.NewMatcher(), deliver: deliver}
+	m.cancel = stream.Subscribe(m.matcher.OnEvent)
+	return m
+}
+
+// Close unsubscribes the service from its stream.
+func (m *EventMatcher) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cancel != nil {
+		m.cancel()
+		m.cancel = nil
+	}
+}
+
+// Registrations returns the number of live registrations.
+func (m *EventMatcher) Registrations() int { return m.matcher.Len() }
+
+// Handle implements grh.Service: register-event and unregister-event.
+func (m *EventMatcher) Handle(req *protocol.Request) (*protocol.Answer, error) {
+	key := req.RuleID + "/" + req.Component
+	switch req.Kind {
+	case protocol.RegisterEvent:
+		if req.Expression == nil {
+			return nil, fmt.Errorf("eventmatcher: registration without a pattern")
+		}
+		p, err := events.NewPattern(req.Expression)
+		if err != nil {
+			return nil, err
+		}
+		ruleID, component, replyTo := req.RuleID, req.Component, req.ReplyTo
+		m.matcher.Register(key, p, func(d events.Detection) {
+			a := &protocol.Answer{RuleID: ruleID, Component: component}
+			for _, t := range d.Bindings {
+				a.Rows = append(a.Rows, protocol.AnswerRow{
+					Tuple:   t,
+					Results: []bindings.Value{bindings.Fragment(d.Event.Payload.Clone())},
+				})
+			}
+			// Delivery failures are the subscriber's problem, not the
+			// stream's; detection must go on for other rules.
+			_ = m.deliver.Deliver(a, replyTo)
+		})
+		return &protocol.Answer{RuleID: req.RuleID, Component: req.Component}, nil
+	case protocol.UnregisterEvent:
+		m.matcher.Unregister(key)
+		return &protocol.Answer{RuleID: req.RuleID, Component: req.Component}, nil
+	default:
+		return nil, fmt.Errorf("eventmatcher: unsupported request kind %q", req.Kind)
+	}
+}
+
+// SnoopService is the composite event detection service: event components
+// in the SNOOP markup (snoop.NS) build detector graphs fed from the stream.
+// The parameter context is taken from the expression's context attribute
+// (default chronicle, the common choice for workflow-style rules).
+type SnoopService struct {
+	deliver *Deliverer
+	mu      sync.Mutex
+	dets    map[string]*snoop.Detector
+	lastSeq uint64
+	cancel  func()
+}
+
+// NewSnoopService creates the service and subscribes it to the stream.
+func NewSnoopService(stream *events.Stream, deliver *Deliverer) *SnoopService {
+	s := &SnoopService{deliver: deliver, dets: map[string]*snoop.Detector{}}
+	s.cancel = stream.Subscribe(s.onEvent)
+	return s
+}
+
+// Close unsubscribes the service from its stream.
+func (s *SnoopService) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cancel != nil {
+		s.cancel()
+		s.cancel = nil
+	}
+}
+
+func (s *SnoopService) onEvent(ev events.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastSeq = ev.Seq
+	for _, d := range s.dets {
+		d.Feed(ev)
+	}
+}
+
+// Advance moves every detector's clock forward, firing elapsed periodic
+// occurrences (snoop.Periodic) even while the stream is quiet. Call it from
+// a ticker, or use StartTicker.
+func (s *SnoopService) Advance(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, d := range s.dets {
+		d.Advance(now, s.lastSeq)
+	}
+}
+
+// StartTicker advances the detectors' clocks every interval until the
+// returned stop function is called.
+func (s *SnoopService) StartTicker(interval time.Duration) (stop func()) {
+	t := time.NewTicker(interval)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case now := <-t.C:
+				s.Advance(now)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		t.Stop()
+		close(done)
+	}
+}
+
+// Registrations returns the number of live detectors.
+func (s *SnoopService) Registrations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.dets)
+}
+
+// Handle implements grh.Service.
+func (s *SnoopService) Handle(req *protocol.Request) (*protocol.Answer, error) {
+	key := req.RuleID + "/" + req.Component
+	switch req.Kind {
+	case protocol.RegisterEvent:
+		if req.Expression == nil {
+			return nil, fmt.Errorf("snoopd: registration without an expression")
+		}
+		expr, err := snoop.ParseXML(req.Expression)
+		if err != nil {
+			return nil, err
+		}
+		ctx := snoop.Chronicle
+		if cs := req.Expression.AttrValue("", "context"); cs != "" {
+			ctx, err = snoop.ParseContext(cs)
+			if err != nil {
+				return nil, err
+			}
+		}
+		ruleID, component, replyTo := req.RuleID, req.Component, req.ReplyTo
+		det, err := snoop.NewDetector(expr, ctx, func(o snoop.Occurrence) {
+			a := &protocol.Answer{RuleID: ruleID, Component: component}
+			row := protocol.AnswerRow{Tuple: o.Bindings}
+			for _, c := range o.Constituents {
+				row.Results = append(row.Results, bindings.Fragment(c.Payload.Clone()))
+			}
+			a.Rows = append(a.Rows, row)
+			_ = s.deliver.Deliver(a, replyTo)
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.dets[key] = det
+		s.mu.Unlock()
+		return &protocol.Answer{RuleID: req.RuleID, Component: req.Component}, nil
+	case protocol.UnregisterEvent:
+		s.mu.Lock()
+		delete(s.dets, key)
+		s.mu.Unlock()
+		return &protocol.Answer{RuleID: req.RuleID, Component: req.Component}, nil
+	default:
+		return nil, fmt.Errorf("snoopd: unsupported request kind %q", req.Kind)
+	}
+}
+
+// Ensure interface satisfaction.
+var (
+	_ grh.Service = (*EventMatcher)(nil)
+	_ grh.Service = (*SnoopService)(nil)
+)

@@ -1,0 +1,127 @@
+package services
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bindings"
+	"repro/internal/datalog"
+	"repro/internal/events"
+	"repro/internal/protocol"
+	"repro/internal/xmltree"
+)
+
+func TestDelivererErrors(t *testing.T) {
+	// No local sink and no replyTo → error.
+	d := &Deliverer{}
+	if err := d.Deliver(&protocol.Answer{}, ""); err == nil {
+		t.Error("missing local sink should error")
+	}
+	// Unreachable replyTo → error, but no panic.
+	if err := d.Deliver(&protocol.Answer{}, "http://127.0.0.1:1/detect"); err == nil {
+		t.Error("unreachable replyTo should error")
+	}
+}
+
+func TestEventMatcherSurvivesDeadReplyTo(t *testing.T) {
+	// A registration pointing at a dead callback must not break detection
+	// for other rules.
+	stream := events.NewStream()
+	var local int
+	m := NewEventMatcher(stream, &Deliverer{Local: func(*protocol.Answer) { local++ }})
+	defer m.Close()
+	m.Handle(&protocol.Request{
+		Kind: protocol.RegisterEvent, RuleID: "dead", Component: "e",
+		ReplyTo:    "http://127.0.0.1:1/none",
+		Expression: xmltree.MustParse(`<e/>`).Root(),
+	})
+	m.Handle(&protocol.Request{
+		Kind: protocol.RegisterEvent, RuleID: "alive", Component: "e",
+		Expression: xmltree.MustParse(`<e/>`).Root(),
+	})
+	stream.Publish(events.New(xmltree.NewElement("", "e")))
+	if local != 1 {
+		t.Fatalf("local deliveries = %d (dead remote must not block)", local)
+	}
+}
+
+func TestQueryTextErrors(t *testing.T) {
+	if _, err := queryText(nil); err == nil {
+		t.Error("nil expression should fail")
+	}
+	empty := xmltree.NewElement(XQueryNS, "query")
+	if _, err := queryText(empty); err == nil {
+		t.Error("empty expression should fail")
+	}
+}
+
+func TestDatalogServiceBadGoal(t *testing.T) {
+	svc, err := NewDatalogService(datalog.MustParse(`p(a).`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr := xmltree.NewElement(DatalogNS, "query")
+	expr.AppendText(`P(a)`) // uppercase predicate: parse error
+	if _, err := svc.Handle(&protocol.Request{Kind: protocol.Query, Expression: expr, Bindings: bindings.NewRelation()}); err == nil {
+		t.Error("bad goal should fail")
+	}
+	if _, err := svc.Handle(&protocol.Request{Kind: protocol.Action, Expression: expr, Bindings: bindings.NewRelation()}); err == nil {
+		t.Error("wrong kind should fail")
+	}
+}
+
+func TestXQueryServiceNamespaces(t *testing.T) {
+	store := NewDocStore()
+	store.Put("d", xmltree.MustParse(`<t:r xmlns:t="http://t/"><t:v>7</t:v></t:r>`))
+	svc := NewXQueryService(store, map[string]string{"q": "http://t/"})
+	expr := xmltree.NewElement(XQueryNS, "query")
+	expr.AppendText(`doc('d')//q:v/text()`)
+	a, err := svc.Handle(&protocol.Request{
+		Kind: protocol.Query, Expression: expr,
+		Bindings: bindings.NewRelation(bindings.Tuple{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 1 || len(a.Rows[0].Results) != 1 || a.Rows[0].Results[0].AsString() != "7" {
+		t.Fatalf("rows = %+v", a.Rows)
+	}
+}
+
+func TestInstantiateKeepsNamespaceDecls(t *testing.T) {
+	tpl := xmltree.MustParse(`<t:msg xmlns:t="http://t/" to="$P"/>`).Root()
+	out := Instantiate(tpl, bindings.MustTuple("P", bindings.Str("$weird & value")))
+	if got := out.AttrValue("", "to"); got != "$weird & value" {
+		t.Errorf("substitution = %q", got)
+	}
+	// xmlns decl untouched, serialization valid.
+	if _, err := xmltree.ParseString(out.String()); err != nil {
+		t.Errorf("instantiated message does not serialize: %v", err)
+	}
+}
+
+func TestActionExecutorMissingSink(t *testing.T) {
+	ex := NewActionExecutor(nil, nil, nil)
+	expr := xmltree.MustParse(`<m to="$P"/>`).Root()
+	_, err := ex.Handle(&protocol.Request{
+		Kind: protocol.Action, Expression: expr,
+		Bindings: bindings.NewRelation(bindings.MustTuple("P", bindings.Str("x"))),
+	})
+	if err == nil || !strings.Contains(err.Error(), "sink") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStoreDeleteBadSelector(t *testing.T) {
+	store := NewDocStore()
+	store.Put("d", xmltree.MustParse(`<d/>`))
+	ex := NewActionExecutor(store, nil, nil)
+	expr := xmltree.MustParse(`<store:delete xmlns:store="` + StoreNS + `" doc="d" select="//x["/>`).Root()
+	_, err := ex.Handle(&protocol.Request{
+		Kind: protocol.Action, Expression: expr,
+		Bindings: bindings.NewRelation(bindings.Tuple{}),
+	})
+	if err == nil {
+		t.Error("bad selector should fail")
+	}
+}

@@ -1,0 +1,63 @@
+package services
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/protocol"
+	"repro/internal/snoop"
+	"repro/internal/xmltree"
+)
+
+// TestSnoopServicePeriodicAdvance: P(start, 10s, stop) fires on Advance
+// even with no events flowing.
+func TestSnoopServicePeriodicAdvance(t *testing.T) {
+	stream := events.NewStream()
+	var got []*protocol.Answer
+	s := NewSnoopService(stream, &Deliverer{Local: func(a *protocol.Answer) { got = append(got, a) }})
+	defer s.Close()
+	expr := xmltree.MustParse(`<snoop:periodic interval="10s" xmlns:snoop="` + snoop.NS + `">
+		<snoop:event><start/></snoop:event>
+		<snoop:event><stop/></snoop:event>
+	</snoop:periodic>`).Root()
+	if _, err := s.Handle(&protocol.Request{Kind: protocol.RegisterEvent, RuleID: "r", Component: "e", Expression: expr}); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1000, 0)
+	stream.Publish(events.Event{Payload: xmltree.NewElement("", "start"), Time: base})
+	if len(got) != 0 {
+		t.Fatal("nothing should fire at start")
+	}
+	s.Advance(base.Add(25 * time.Second))
+	if len(got) != 2 {
+		t.Fatalf("periodic occurrences = %d, want 2", len(got))
+	}
+	stream.Publish(events.Event{Payload: xmltree.NewElement("", "stop"), Time: base.Add(26 * time.Second)})
+	s.Advance(base.Add(100 * time.Second))
+	if len(got) != 2 {
+		t.Fatalf("fired after stop: %d", len(got))
+	}
+}
+
+func TestSnoopServiceTicker(t *testing.T) {
+	stream := events.NewStream()
+	fired := make(chan struct{}, 16)
+	s := NewSnoopService(stream, &Deliverer{Local: func(*protocol.Answer) { fired <- struct{}{} }})
+	defer s.Close()
+	expr := xmltree.MustParse(`<snoop:periodic interval="5ms" xmlns:snoop="` + snoop.NS + `">
+		<snoop:event><start/></snoop:event>
+		<snoop:event><stop/></snoop:event>
+	</snoop:periodic>`).Root()
+	if _, err := s.Handle(&protocol.Request{Kind: protocol.RegisterEvent, RuleID: "r", Component: "e", Expression: expr}); err != nil {
+		t.Fatal(err)
+	}
+	stream.Publish(events.New(xmltree.NewElement("", "start")))
+	stop := s.StartTicker(2 * time.Millisecond)
+	defer stop()
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("ticker never fired the periodic event")
+	}
+}

@@ -1,0 +1,356 @@
+package services
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/bindings"
+	"repro/internal/datalog"
+	"repro/internal/grh"
+	"repro/internal/protocol"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+	"repro/internal/xq"
+)
+
+// XQueryService is the framework-aware functional query service of Section
+// 4.3 — the stand-in for the wrapped Saxon XQuery node. For every input
+// tuple it evaluates the query with the tuple's variables bound and returns
+// the result items as functional results (one <log:answer> per input tuple).
+type XQueryService struct {
+	store      *DocStore
+	namespaces map[string]string
+}
+
+// NewXQueryService creates the service over a document store. The
+// namespace map is offered to queries for prefixed name tests.
+func NewXQueryService(store *DocStore, namespaces map[string]string) *XQueryService {
+	return &XQueryService{store: store, namespaces: namespaces}
+}
+
+// Handle implements grh.Service for query components.
+func (s *XQueryService) Handle(req *protocol.Request) (*protocol.Answer, error) {
+	if req.Kind != protocol.Query {
+		return nil, fmt.Errorf("xqueryd: unsupported request kind %q", req.Kind)
+	}
+	text, err := queryText(req.Expression)
+	if err != nil {
+		return nil, fmt.Errorf("xqueryd: %w", err)
+	}
+	q, err := xq.Compile(text)
+	if err != nil {
+		return nil, fmt.Errorf("xqueryd: %w", err)
+	}
+	a := &protocol.Answer{RuleID: req.RuleID, Component: req.Component}
+	for _, t := range req.Bindings.Tuples() {
+		ctx := &xq.Context{
+			Docs:       s.store.Resolver(),
+			Vars:       tupleToXQVars(t),
+			Namespaces: s.namespaces,
+		}
+		seq, err := q.Eval(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("xqueryd: %w", err)
+		}
+		row := protocol.AnswerRow{Tuple: t}
+		for _, item := range seq {
+			row.Results = append(row.Results, itemToValue(item))
+		}
+		a.Rows = append(a.Rows, row)
+	}
+	return a, nil
+}
+
+// queryText extracts the query source from the expression element: either
+// the text content of a marked-up <xq:query> element or the wrapped opaque
+// text.
+func queryText(expr *xmltree.Node) (string, error) {
+	if expr == nil {
+		return "", fmt.Errorf("query component without expression")
+	}
+	if s, ok := unwrapOpaque(expr); ok {
+		return s, nil
+	}
+	s := strings.TrimSpace(expr.TextContent())
+	if s == "" {
+		return "", fmt.Errorf("empty query expression")
+	}
+	return s, nil
+}
+
+func tupleToXQVars(t bindings.Tuple) map[string]xq.Sequence {
+	vars := make(map[string]xq.Sequence, len(t))
+	for name, v := range t {
+		switch v.Kind() {
+		case bindings.XML:
+			vars[name] = xq.Sequence{v.Node()}
+		case bindings.Number:
+			f, _ := v.AsNumber()
+			vars[name] = xq.Sequence{f}
+		case bindings.Bool:
+			vars[name] = xq.Sequence{v.AsBool()}
+		default:
+			vars[name] = xq.Sequence{v.AsString()}
+		}
+	}
+	return vars
+}
+
+func itemToValue(item xq.Item) bindings.Value {
+	switch v := item.(type) {
+	case *xmltree.Node:
+		if v.Kind == xmltree.AttrNode || v.Kind == xmltree.TextNode {
+			return bindings.Str(v.TextContent())
+		}
+		return bindings.Fragment(v.Clone())
+	case float64:
+		return bindings.Num(v)
+	case bool:
+		return bindings.Boolean(v)
+	default:
+		return bindings.Str(xq.ItemString(item))
+	}
+}
+
+// DatalogService is the LP-style query service of Section 3: queries are
+// goal atoms over a Datalog rulebase; variables shared with the input
+// bindings act as constants, fresh variables extend the tuples — the
+// "languages match free variables" behaviour.
+type DatalogService struct {
+	mu sync.RWMutex
+	db *datalog.Database
+	// program retained for AddFacts re-evaluation.
+	program *datalog.Program
+}
+
+// NewDatalogService evaluates the rulebase once and serves queries over the
+// materialized model.
+func NewDatalogService(program *datalog.Program) (*DatalogService, error) {
+	db, err := program.Eval()
+	if err != nil {
+		return nil, err
+	}
+	return &DatalogService{db: db, program: program}, nil
+}
+
+// AddFacts extends the rulebase and re-materializes the model.
+func (s *DatalogService) AddFacts(facts []datalog.Rule) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.program.Rules = append(s.program.Rules, facts...)
+	db, err := s.program.Eval()
+	if err != nil {
+		return err
+	}
+	s.db = db
+	return nil
+}
+
+// Handle implements grh.Service for query components. The expression text
+// is a goal atom, e.g. "owns(Person, Car)"; argument variables whose names
+// are bound in an input tuple are substituted before matching.
+func (s *DatalogService) Handle(req *protocol.Request) (*protocol.Answer, error) {
+	if req.Kind != protocol.Query {
+		return nil, fmt.Errorf("datalogd: unsupported request kind %q", req.Kind)
+	}
+	text, err := queryText(req.Expression)
+	if err != nil {
+		return nil, fmt.Errorf("datalogd: %w", err)
+	}
+	goal, err := datalog.ParseQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	db := s.db
+	s.mu.RUnlock()
+	a := &protocol.Answer{RuleID: req.RuleID, Component: req.Component}
+	for _, t := range req.Bindings.Tuples() {
+		bound := goal
+		bound.Args = make([]datalog.Term, len(goal.Args))
+		for i, arg := range goal.Args {
+			if arg.IsVar() {
+				if v, ok := t[arg.Var]; ok {
+					bound.Args[i] = datalog.C(v)
+					continue
+				}
+			}
+			bound.Args[i] = arg
+		}
+		for _, res := range db.Query(bound).Tuples() {
+			a.Rows = append(a.Rows, protocol.AnswerRow{Tuple: t.Merge(res)})
+		}
+	}
+	return a, nil
+}
+
+// TestEvaluator evaluates test components: boolean comparison expressions
+// over the bound variables, in XPath syntax (e.g. "$Class != ” and $N >
+// 3"). Per Section 4.5 tests are "in general evaluated locally" — the
+// engine embeds this evaluator, and it is also exposed as a service for
+// rules that address a test language explicitly.
+type TestEvaluator struct{}
+
+// Handle implements grh.Service for test components: the answer contains
+// exactly the input tuples satisfying the condition.
+func (TestEvaluator) Handle(req *protocol.Request) (*protocol.Answer, error) {
+	if req.Kind != protocol.Test {
+		return nil, fmt.Errorf("testd: unsupported request kind %q", req.Kind)
+	}
+	text, err := queryText(req.Expression)
+	if err != nil {
+		return nil, fmt.Errorf("testd: %w", err)
+	}
+	keep, err := EvalTest(text, req.Bindings)
+	if err != nil {
+		return nil, err
+	}
+	return protocol.NewAnswer(req.RuleID, req.Component, keep), nil
+}
+
+// EvalTest filters a relation by a boolean XPath condition over the bound
+// variables (σ of Section 3).
+func EvalTest(cond string, rel *bindings.Relation) (*bindings.Relation, error) {
+	expr, err := xpath.Compile(cond)
+	if err != nil {
+		return nil, fmt.Errorf("test: %w", err)
+	}
+	dummy := xmltree.NewDocument()
+	var evalErr error
+	out := rel.Select(func(t bindings.Tuple) bool {
+		if evalErr != nil {
+			return false
+		}
+		vars := make(map[string]xpath.Object, len(t))
+		for name, v := range t {
+			switch v.Kind() {
+			case bindings.XML:
+				vars[name] = xpath.NodeSet{v.Node()}
+			case bindings.Number:
+				f, _ := v.AsNumber()
+				vars[name] = f
+			case bindings.Bool:
+				vars[name] = v.AsBool()
+			default:
+				vars[name] = v.AsString()
+			}
+		}
+		ok, err := expr.EvalBool(&xpath.Context{Node: dummy, Vars: vars})
+		if err != nil {
+			evalErr = fmt.Errorf("test %q: %w", cond, err)
+			return false
+		}
+		return ok
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}
+
+// OpaqueXMLStore is the framework-UNaware query node of Fig. 9 (the eXist
+// stand-in): it is only an http.Handler — GET ?query=<xpath> evaluates the
+// query against its document and returns a plain <results> document. It
+// knows nothing of eca:request or log:answers; the GRH mediates.
+type OpaqueXMLStore struct {
+	doc        *xmltree.Node
+	namespaces map[string]string
+}
+
+// NewOpaqueXMLStore serves queries against one document.
+func NewOpaqueXMLStore(doc *xmltree.Node, namespaces map[string]string) *OpaqueXMLStore {
+	return &OpaqueXMLStore{doc: doc, namespaces: namespaces}
+}
+
+// ServeHTTP implements the raw query protocol.
+func (s *OpaqueXMLStore) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("query")
+	if q == "" {
+		http.Error(w, "missing query parameter", http.StatusBadRequest)
+		return
+	}
+	expr, err := xpath.Compile(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := expr.Eval(&xpath.Context{Node: s.doc, Namespaces: s.namespaces})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	out := xmltree.NewElement("", "results")
+	switch v := res.(type) {
+	case xpath.NodeSet:
+		for _, n := range v {
+			if n.Kind == xmltree.AttrNode || n.Kind == xmltree.TextNode {
+				out.Append(xmltree.NewElement("", "value").AppendText(n.TextContent()))
+			} else {
+				out.Append(n.Clone())
+			}
+		}
+	default:
+		out.Append(xmltree.NewElement("", "value").AppendText(fmt.Sprintf("%v", v)))
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	fmt.Fprint(w, out.String())
+}
+
+// OpaqueXQueryNode is a framework-unaware XQuery endpoint addressed
+// directly by URL: GET ?query=<xquery> evaluates the query against its
+// document store and returns the raw result sequence. A query whose result
+// is a log:answers document reproduces the Fig. 10 trick — a plain XQuery
+// engine "faking" framework awareness by generating the answer markup
+// itself.
+type OpaqueXQueryNode struct {
+	store      *DocStore
+	namespaces map[string]string
+}
+
+// NewOpaqueXQueryNode serves raw XQuery-lite over a document store.
+func NewOpaqueXQueryNode(store *DocStore, namespaces map[string]string) *OpaqueXQueryNode {
+	return &OpaqueXQueryNode{store: store, namespaces: namespaces}
+}
+
+// ServeHTTP implements the raw query protocol.
+func (s *OpaqueXQueryNode) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query().Get("query")
+	if qs == "" {
+		http.Error(w, "missing query parameter", http.StatusBadRequest)
+		return
+	}
+	q, err := xq.Compile(qs)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	seq, err := q.Eval(&xq.Context{Docs: s.store.Resolver(), Namespaces: s.namespaces})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	if len(seq) == 1 {
+		if n, ok := seq[0].(*xmltree.Node); ok && n.Kind == xmltree.ElementNode {
+			fmt.Fprint(w, n.String())
+			return
+		}
+	}
+	out := xmltree.NewElement("", "results")
+	for _, item := range seq {
+		if n, ok := item.(*xmltree.Node); ok && n.Kind == xmltree.ElementNode {
+			out.Append(n.Clone())
+		} else {
+			out.Append(xmltree.NewElement("", "value").AppendText(xq.ItemString(item)))
+		}
+	}
+	fmt.Fprint(w, out.String())
+}
+
+var (
+	_ grh.Service = (*XQueryService)(nil)
+	_ grh.Service = (*DatalogService)(nil)
+	_ grh.Service = TestEvaluator{}
+)

@@ -1,0 +1,780 @@
+// Package snoop implements the SNOOP composite event algebra of
+// Chakravarthy et al. (VLDB 1994) extended with logical variables, the
+// composite event component language the paper plugs into the ECA framework
+// (Section 4.2, [CKAK94], [Spa06]).
+//
+// Operators: disjunction (Or), conjunction (And), sequence (Seq), Any(m, …),
+// negation Not(E2)[E1, E3], aperiodic A(E1, E2, E3) and periodic
+// P(E1, t, E3). Detection follows the event-graph approach: primitive
+// occurrences enter at Atomic leaves and propagate upward; operator nodes
+// keep initiator state and combine occurrences under one of the SNOOP
+// parameter contexts (Unrestricted, Recent, Chronicle, Continuous,
+// Cumulative).
+//
+// The logical-variable extension: every occurrence carries a tuple of
+// variable bindings; combining operators join tuples and drop incompatible
+// combinations, so a variable occurring in several constituent patterns acts
+// as a join variable across the composite event.
+package snoop
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bindings"
+	"repro/internal/events"
+)
+
+// ParamContext selects the SNOOP parameter context, which determines how
+// initiator occurrences pair with terminators.
+type ParamContext int
+
+// The parameter contexts of [CKAK94].
+const (
+	// Unrestricted pairs every initiator with every terminator.
+	Unrestricted ParamContext = iota
+	// Recent pairs only the most recent initiator; older ones are dropped.
+	Recent
+	// Chronicle pairs the oldest initiator and consumes it (FIFO).
+	Chronicle
+	// Continuous lets every initiator start a window that the first
+	// following terminator closes: on a terminator, all stored initiators
+	// pair and are consumed.
+	Continuous
+	// Cumulative accumulates all initiators and emits one occurrence per
+	// terminator combining them all, then resets.
+	Cumulative
+)
+
+var contextNames = map[string]ParamContext{
+	"unrestricted": Unrestricted,
+	"recent":       Recent,
+	"chronicle":    Chronicle,
+	"continuous":   Continuous,
+	"cumulative":   Cumulative,
+}
+
+// ParseContext resolves a context name ("recent", "chronicle", …).
+func ParseContext(s string) (ParamContext, error) {
+	c, ok := contextNames[strings.ToLower(s)]
+	if !ok {
+		return 0, fmt.Errorf("snoop: unknown parameter context %q", s)
+	}
+	return c, nil
+}
+
+// String returns the lower-case context name.
+func (c ParamContext) String() string {
+	for n, v := range contextNames {
+		if v == c {
+			return n
+		}
+	}
+	return fmt.Sprintf("ParamContext(%d)", int(c))
+}
+
+// Occurrence is one (composite) event occurrence: the interval it spans in
+// the stream, its variable bindings, and the primitive constituents.
+type Occurrence struct {
+	Start, End         uint64
+	StartTime, EndTime time.Time
+	Bindings           bindings.Tuple
+	Constituents       []events.Event
+}
+
+func (o Occurrence) String() string {
+	return fmt.Sprintf("[%d,%d]%s", o.Start, o.End, o.Bindings)
+}
+
+// merge combines two occurrences into one spanning both; the bindings must
+// already be known compatible.
+func merge(a, b Occurrence) Occurrence {
+	out := Occurrence{
+		Start:     a.Start,
+		StartTime: a.StartTime,
+		End:       a.End,
+		EndTime:   a.EndTime,
+		Bindings:  a.Bindings.Merge(b.Bindings),
+	}
+	if b.Start < a.Start {
+		out.Start, out.StartTime = b.Start, b.StartTime
+	}
+	if b.End > a.End {
+		out.End, out.EndTime = b.End, b.EndTime
+	}
+	out.Constituents = append(append([]events.Event{}, a.Constituents...), b.Constituents...)
+	return out
+}
+
+// --- expression AST ----------------------------------------------------------------
+
+// Expr is a composite event expression.
+type Expr interface {
+	// node builds the detector node for this expression.
+	node(d *Detector) node
+	// String renders the expression in algebra syntax.
+	String() string
+}
+
+// Atomic matches primitive events against an atomic event pattern.
+type Atomic struct{ Pattern *events.Pattern }
+
+// Or is disjunction: E1 ∨ E2 occurs when either occurs.
+type Or struct{ L, R Expr }
+
+// And is conjunction: E1 ∧ E2 occurs when both have occurred, in any order.
+type And struct{ L, R Expr }
+
+// Seq is sequence: E1 ; E2 occurs when E2 starts after E1 has ended.
+type Seq struct{ L, R Expr }
+
+// Any occurs when M of the child expressions have occurred (each child
+// counted once).
+type Any struct {
+	M        int
+	Children []Expr
+}
+
+// Not is negation: Not(Guarded)[Begin, End] occurs at an End occurrence
+// following a Begin occurrence with no compatible Guarded occurrence
+// strictly inside the interval.
+type Not struct{ Begin, Guarded, End Expr }
+
+// Aperiodic is A(Begin, Mid, End): every Mid occurrence inside an open
+// [Begin, End) window is signalled.
+type Aperiodic struct{ Begin, Mid, End Expr }
+
+// AperiodicStar is A*(Begin, Mid, End), the cumulative variant of the
+// aperiodic operator in [CKAK94]: Mid occurrences inside an open
+// [Begin, End) window are accumulated silently and signalled as ONE
+// occurrence when the window's terminator arrives (windows with no Mid
+// occurrence signal nothing).
+type AperiodicStar struct{ Begin, Mid, End Expr }
+
+// Periodic is P(Begin, Interval, End): after Begin, an occurrence is
+// signalled every Interval until End. Time advances with the timestamps of
+// fed events (and explicit Detector.Advance calls).
+type Periodic struct {
+	Begin    Expr
+	Interval time.Duration
+	End      Expr
+}
+
+func (e *Atomic) String() string { return e.Pattern.Name().String() }
+func (e *Or) String() string     { return "(" + e.L.String() + " ∨ " + e.R.String() + ")" }
+func (e *And) String() string    { return "(" + e.L.String() + " ∧ " + e.R.String() + ")" }
+func (e *Seq) String() string    { return "(" + e.L.String() + " ; " + e.R.String() + ")" }
+func (e *Any) String() string {
+	parts := make([]string, len(e.Children))
+	for i, c := range e.Children {
+		parts[i] = c.String()
+	}
+	return fmt.Sprintf("ANY(%d, %s)", e.M, strings.Join(parts, ", "))
+}
+func (e *Not) String() string {
+	return fmt.Sprintf("NOT(%s)[%s, %s]", e.Guarded.String(), e.Begin.String(), e.End.String())
+}
+func (e *Aperiodic) String() string {
+	return fmt.Sprintf("A(%s, %s, %s)", e.Begin.String(), e.Mid.String(), e.End.String())
+}
+func (e *AperiodicStar) String() string {
+	return fmt.Sprintf("A*(%s, %s, %s)", e.Begin.String(), e.Mid.String(), e.End.String())
+}
+func (e *Periodic) String() string {
+	return fmt.Sprintf("P(%s, %s, %s)", e.Begin.String(), e.Interval, e.End.String())
+}
+
+// Validate checks structural well-formedness of an expression.
+func Validate(e Expr) error {
+	switch x := e.(type) {
+	case *Atomic:
+		if x.Pattern == nil {
+			return fmt.Errorf("snoop: atomic expression without pattern")
+		}
+		return nil
+	case *Or:
+		return firstErr(Validate(x.L), Validate(x.R))
+	case *And:
+		return firstErr(Validate(x.L), Validate(x.R))
+	case *Seq:
+		return firstErr(Validate(x.L), Validate(x.R))
+	case *Any:
+		if x.M < 1 || x.M > len(x.Children) {
+			return fmt.Errorf("snoop: ANY(%d) over %d children", x.M, len(x.Children))
+		}
+		for _, c := range x.Children {
+			if err := Validate(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *Not:
+		return firstErr(Validate(x.Begin), Validate(x.Guarded), Validate(x.End))
+	case *Aperiodic:
+		return firstErr(Validate(x.Begin), Validate(x.Mid), Validate(x.End))
+	case *AperiodicStar:
+		return firstErr(Validate(x.Begin), Validate(x.Mid), Validate(x.End))
+	case *Periodic:
+		if x.Interval <= 0 {
+			return fmt.Errorf("snoop: periodic interval must be positive")
+		}
+		return firstErr(Validate(x.Begin), Validate(x.End))
+	default:
+		return fmt.Errorf("snoop: unknown expression %T", e)
+	}
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- detector ----------------------------------------------------------------------
+
+// Detector evaluates one composite event expression against a stream of
+// primitive events. Feed it events in stream order; detected composite
+// occurrences are delivered synchronously to the sink. Not safe for
+// concurrent use; wrap with a mutex or feed from one goroutine (the
+// services layer does the former).
+type Detector struct {
+	root      node
+	ctx       ParamContext
+	sink      func(Occurrence)
+	leaves    []*atomicNode
+	clock     time.Time
+	periodics []*periodicNode
+}
+
+// NewDetector compiles the expression into a detector graph.
+func NewDetector(e Expr, ctx ParamContext, sink func(Occurrence)) (*Detector, error) {
+	if err := Validate(e); err != nil {
+		return nil, err
+	}
+	d := &Detector{ctx: ctx, sink: sink}
+	d.root = e.node(d)
+	d.root.setParent(func(occs []Occurrence) {
+		for _, o := range occs {
+			d.sink(o)
+		}
+	})
+	return d, nil
+}
+
+// Feed processes one primitive event occurrence.
+func (d *Detector) Feed(ev events.Event) {
+	if ev.Time.After(d.clock) {
+		d.clock = ev.Time
+	}
+	// Fire periodic timers that elapsed strictly before this event.
+	for _, p := range d.periodics {
+		p.advance(d.clock, ev.Seq)
+	}
+	for _, leaf := range d.leaves {
+		leaf.feed(ev)
+	}
+}
+
+// Advance moves the detector clock forward (for Periodic expressions)
+// without feeding an event; seq is the stream position the emitted
+// occurrences are attributed to.
+func (d *Detector) Advance(now time.Time, seq uint64) {
+	if now.After(d.clock) {
+		d.clock = now
+	}
+	for _, p := range d.periodics {
+		p.advance(d.clock, seq)
+	}
+}
+
+// node is one detector-graph node.
+type node interface {
+	setParent(emit func([]Occurrence))
+}
+
+// --- leaf -----------------------------------------------------------------------
+
+type atomicNode struct {
+	pattern *events.Pattern
+	emit    func([]Occurrence)
+}
+
+func (e *Atomic) node(d *Detector) node {
+	n := &atomicNode{pattern: e.Pattern}
+	d.leaves = append(d.leaves, n)
+	return n
+}
+
+func (n *atomicNode) setParent(emit func([]Occurrence)) { n.emit = emit }
+
+func (n *atomicNode) feed(ev events.Event) {
+	ts := n.pattern.Match(ev)
+	if len(ts) == 0 {
+		return
+	}
+	occs := make([]Occurrence, len(ts))
+	for i, t := range ts {
+		occs[i] = Occurrence{
+			Start: ev.Seq, End: ev.Seq,
+			StartTime: ev.Time, EndTime: ev.Time,
+			Bindings:     t,
+			Constituents: []events.Event{ev},
+		}
+	}
+	n.emit(occs)
+}
+
+// --- or ------------------------------------------------------------------------
+
+type orNode struct{ emit func([]Occurrence) }
+
+func (e *Or) node(d *Detector) node {
+	n := &orNode{}
+	l := e.L.node(d)
+	r := e.R.node(d)
+	pass := func(occs []Occurrence) { n.emit(occs) }
+	l.setParent(pass)
+	r.setParent(pass)
+	return n
+}
+
+func (n *orNode) setParent(emit func([]Occurrence)) { n.emit = emit }
+
+// --- binary initiator/terminator pairing (Seq, And) --------------------------------
+
+// pairStore keeps initiator occurrences under a parameter context.
+type pairStore struct {
+	ctx  ParamContext
+	occs []Occurrence
+}
+
+func (s *pairStore) add(o Occurrence) {
+	if s.ctx == Recent {
+		s.occs = s.occs[:0]
+	}
+	s.occs = append(s.occs, o)
+}
+
+// pair combines a terminator occurrence with stored initiators according to
+// the context, returning the emitted occurrences. ok filters admissible
+// pairs (ordering for Seq, binding compatibility everywhere).
+func (s *pairStore) pair(term Occurrence, ok func(init Occurrence) bool) []Occurrence {
+	var out []Occurrence
+	switch s.ctx {
+	case Unrestricted, Recent:
+		for _, init := range s.occs {
+			if ok(init) {
+				out = append(out, merge(init, term))
+			}
+		}
+	case Chronicle:
+		for i, init := range s.occs {
+			if ok(init) {
+				out = append(out, merge(init, term))
+				s.occs = append(s.occs[:i], s.occs[i+1:]...)
+				break
+			}
+		}
+	case Continuous:
+		var rest []Occurrence
+		for _, init := range s.occs {
+			if ok(init) {
+				out = append(out, merge(init, term))
+			} else {
+				rest = append(rest, init)
+			}
+		}
+		s.occs = rest
+	case Cumulative:
+		acc := term
+		matched := false
+		var rest []Occurrence
+		for _, init := range s.occs {
+			if ok(init) && init.Bindings.Compatible(acc.Bindings) {
+				acc = merge(init, acc)
+				matched = true
+			} else {
+				rest = append(rest, init)
+			}
+		}
+		if matched {
+			out = append(out, acc)
+			s.occs = rest
+		}
+	}
+	return out
+}
+
+type seqNode struct {
+	emit  func([]Occurrence)
+	store pairStore
+}
+
+func (e *Seq) node(d *Detector) node {
+	n := &seqNode{store: pairStore{ctx: d.ctx}}
+	l := e.L.node(d)
+	r := e.R.node(d)
+	l.setParent(func(occs []Occurrence) {
+		for _, o := range occs {
+			n.store.add(o)
+		}
+	})
+	r.setParent(func(occs []Occurrence) {
+		var out []Occurrence
+		for _, term := range occs {
+			out = append(out, n.store.pair(term, func(init Occurrence) bool {
+				return init.End < term.Start && init.Bindings.Compatible(term.Bindings)
+			})...)
+		}
+		if len(out) > 0 {
+			n.emit(out)
+		}
+	})
+	return n
+}
+
+func (n *seqNode) setParent(emit func([]Occurrence)) { n.emit = emit }
+
+type andNode struct {
+	emit func([]Occurrence)
+	l, r pairStore
+}
+
+func (e *And) node(d *Detector) node {
+	n := &andNode{l: pairStore{ctx: d.ctx}, r: pairStore{ctx: d.ctx}}
+	l := e.L.node(d)
+	r := e.R.node(d)
+	l.setParent(func(occs []Occurrence) {
+		var out []Occurrence
+		for _, o := range occs {
+			// Pair with stored right occurrences; also store as initiator.
+			out = append(out, n.r.pair(o, func(other Occurrence) bool {
+				return other.Bindings.Compatible(o.Bindings)
+			})...)
+			n.l.add(o)
+		}
+		if len(out) > 0 {
+			n.emit(out)
+		}
+	})
+	r.setParent(func(occs []Occurrence) {
+		var out []Occurrence
+		for _, o := range occs {
+			out = append(out, n.l.pair(o, func(other Occurrence) bool {
+				return other.Bindings.Compatible(o.Bindings)
+			})...)
+			n.r.add(o)
+		}
+		if len(out) > 0 {
+			n.emit(out)
+		}
+	})
+	return n
+}
+
+func (n *andNode) setParent(emit func([]Occurrence)) { n.emit = emit }
+
+// --- any ----------------------------------------------------------------------
+
+type anyNode struct {
+	emit   func([]Occurrence)
+	m      int
+	stores []pairStore
+}
+
+func (e *Any) node(d *Detector) node {
+	n := &anyNode{m: e.M, stores: make([]pairStore, len(e.Children))}
+	for i := range n.stores {
+		n.stores[i].ctx = d.ctx
+	}
+	for i, c := range e.Children {
+		idx := i
+		cn := c.node(d)
+		cn.setParent(func(occs []Occurrence) {
+			var out []Occurrence
+			for _, o := range occs {
+				out = append(out, n.combine(idx, o)...)
+				n.stores[idx].add(o)
+			}
+			if len(out) > 0 {
+				n.emit(out)
+			}
+		})
+	}
+	return n
+}
+
+func (n *anyNode) setParent(emit func([]Occurrence)) { n.emit = emit }
+
+// combine builds occurrences using the new occurrence o from child idx plus
+// m-1 stored occurrences from distinct other children (most recent
+// compatible occurrence per child).
+func (n *anyNode) combine(idx int, o Occurrence) []Occurrence {
+	if n.m == 1 {
+		return []Occurrence{o}
+	}
+	// Candidate children ordered by recency of their latest occurrence.
+	type cand struct {
+		child int
+		occ   Occurrence
+	}
+	var cands []cand
+	for i := range n.stores {
+		if i == idx {
+			continue
+		}
+		for j := len(n.stores[i].occs) - 1; j >= 0; j-- {
+			if n.stores[i].occs[j].Bindings.Compatible(o.Bindings) {
+				cands = append(cands, cand{i, n.stores[i].occs[j]})
+				break
+			}
+		}
+	}
+	if len(cands) < n.m-1 {
+		return nil
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].occ.End > cands[b].occ.End })
+	acc := o
+	for i := 0; i < n.m-1; i++ {
+		if !cands[i].occ.Bindings.Compatible(acc.Bindings) {
+			return nil
+		}
+		acc = merge(acc, cands[i].occ)
+	}
+	return []Occurrence{acc}
+}
+
+// --- not ---------------------------------------------------------------------
+
+type notNode struct {
+	emit    func([]Occurrence)
+	inits   pairStore
+	guarded []Occurrence
+}
+
+func (e *Not) node(d *Detector) node {
+	n := &notNode{inits: pairStore{ctx: d.ctx}}
+	b := e.Begin.node(d)
+	g := e.Guarded.node(d)
+	t := e.End.node(d)
+	b.setParent(func(occs []Occurrence) {
+		for _, o := range occs {
+			n.inits.add(o)
+		}
+	})
+	g.setParent(func(occs []Occurrence) {
+		n.guarded = append(n.guarded, occs...)
+	})
+	t.setParent(func(occs []Occurrence) {
+		var out []Occurrence
+		for _, term := range occs {
+			out = append(out, n.inits.pair(term, func(init Occurrence) bool {
+				if init.End >= term.Start || !init.Bindings.Compatible(term.Bindings) {
+					return false
+				}
+				joined := init.Bindings.Merge(term.Bindings)
+				for _, gu := range n.guarded {
+					if gu.Start > init.End && gu.End < term.Start && gu.Bindings.Compatible(joined) {
+						return false
+					}
+				}
+				return true
+			})...)
+		}
+		if len(out) > 0 {
+			n.emit(out)
+		}
+	})
+	return n
+}
+
+func (n *notNode) setParent(emit func([]Occurrence)) { n.emit = emit }
+
+// --- aperiodic ------------------------------------------------------------------
+
+type aperiodicNode struct {
+	emit func([]Occurrence)
+	open pairStore
+}
+
+func (e *Aperiodic) node(d *Detector) node {
+	n := &aperiodicNode{open: pairStore{ctx: d.ctx}}
+	b := e.Begin.node(d)
+	m := e.Mid.node(d)
+	t := e.End.node(d)
+	b.setParent(func(occs []Occurrence) {
+		for _, o := range occs {
+			n.open.add(o)
+		}
+	})
+	m.setParent(func(occs []Occurrence) {
+		var out []Occurrence
+		for _, mid := range occs {
+			// Signal mid inside every open window; windows stay open.
+			for _, init := range n.open.occs {
+				if init.End < mid.Start && init.Bindings.Compatible(mid.Bindings) {
+					out = append(out, merge(init, mid))
+				}
+			}
+		}
+		if len(out) > 0 {
+			n.emit(out)
+		}
+	})
+	t.setParent(func(occs []Occurrence) {
+		for _, term := range occs {
+			// Terminators close windows per context; nothing is emitted.
+			n.open.pair(term, func(init Occurrence) bool {
+				return init.End < term.Start && init.Bindings.Compatible(term.Bindings)
+			})
+			if n.open.ctx == Unrestricted || n.open.ctx == Recent {
+				// pair() does not consume in these contexts; drop closed
+				// windows explicitly.
+				var rest []Occurrence
+				for _, init := range n.open.occs {
+					if !(init.End < term.Start && init.Bindings.Compatible(term.Bindings)) {
+						rest = append(rest, init)
+					}
+				}
+				n.open.occs = rest
+			}
+		}
+	})
+	return n
+}
+
+func (n *aperiodicNode) setParent(emit func([]Occurrence)) { n.emit = emit }
+
+// --- aperiodic* (cumulative) -----------------------------------------------------
+
+type aperiodicStarNode struct {
+	emit    func([]Occurrence)
+	windows []starWindow
+	ctx     ParamContext
+}
+
+type starWindow struct {
+	init Occurrence
+	mids []Occurrence
+}
+
+func (e *AperiodicStar) node(d *Detector) node {
+	n := &aperiodicStarNode{ctx: d.ctx}
+	b := e.Begin.node(d)
+	m := e.Mid.node(d)
+	t := e.End.node(d)
+	b.setParent(func(occs []Occurrence) {
+		for _, o := range occs {
+			if n.ctx == Recent {
+				n.windows = n.windows[:0]
+			}
+			n.windows = append(n.windows, starWindow{init: o})
+		}
+	})
+	m.setParent(func(occs []Occurrence) {
+		for _, mid := range occs {
+			for i := range n.windows {
+				w := &n.windows[i]
+				if w.init.End < mid.Start && w.init.Bindings.Compatible(mid.Bindings) {
+					w.mids = append(w.mids, mid)
+				}
+			}
+		}
+	})
+	t.setParent(func(occs []Occurrence) {
+		var out []Occurrence
+		for _, term := range occs {
+			var rest []starWindow
+			for _, w := range n.windows {
+				if !(w.init.End < term.Start && w.init.Bindings.Compatible(term.Bindings)) {
+					rest = append(rest, w)
+					continue
+				}
+				// Accumulate the binding-compatible mids into one
+				// occurrence; windows with no mids signal nothing.
+				if len(w.mids) > 0 {
+					acc := merge(w.init, term)
+					for _, mid := range w.mids {
+						if mid.Bindings.Compatible(acc.Bindings) {
+							acc = merge(acc, mid)
+						}
+					}
+					out = append(out, acc)
+				}
+			}
+			n.windows = rest
+		}
+		if len(out) > 0 {
+			n.emit(out)
+		}
+	})
+	return n
+}
+
+func (n *aperiodicStarNode) setParent(emit func([]Occurrence)) { n.emit = emit }
+
+// --- periodic -------------------------------------------------------------------
+
+type periodicNode struct {
+	emit     func([]Occurrence)
+	interval time.Duration
+	// windows holds open periodic windows: initiator occurrence plus the
+	// next due time.
+	windows []periodicWindow
+}
+
+type periodicWindow struct {
+	init Occurrence
+	due  time.Time
+}
+
+func (e *Periodic) node(d *Detector) node {
+	n := &periodicNode{interval: e.Interval}
+	d.periodics = append(d.periodics, n)
+	b := e.Begin.node(d)
+	t := e.End.node(d)
+	b.setParent(func(occs []Occurrence) {
+		for _, o := range occs {
+			n.windows = append(n.windows, periodicWindow{init: o, due: o.EndTime.Add(n.interval)})
+		}
+	})
+	t.setParent(func(occs []Occurrence) {
+		for _, term := range occs {
+			var rest []periodicWindow
+			for _, w := range n.windows {
+				if !(w.init.End < term.Start && w.init.Bindings.Compatible(term.Bindings)) {
+					rest = append(rest, w)
+				}
+			}
+			n.windows = rest
+		}
+	})
+	return n
+}
+
+func (n *periodicNode) setParent(emit func([]Occurrence)) { n.emit = emit }
+
+// advance emits period occurrences due up to now.
+func (n *periodicNode) advance(now time.Time, seq uint64) {
+	var out []Occurrence
+	for i := range n.windows {
+		for !n.windows[i].due.After(now) {
+			o := n.windows[i].init
+			out = append(out, Occurrence{
+				Start: o.Start, End: seq,
+				StartTime: o.StartTime, EndTime: n.windows[i].due,
+				Bindings:     o.Bindings.Clone(),
+				Constituents: o.Constituents,
+			})
+			n.windows[i].due = n.windows[i].due.Add(n.interval)
+		}
+	}
+	if len(out) > 0 && n.emit != nil {
+		n.emit(out)
+	}
+}

@@ -1,0 +1,266 @@
+// Package system wires the complete service-oriented architecture of
+// Fig. 3: the ECA engine, the Generic Request Handler, and the component
+// language services — either fully in-process (every service a local
+// grh.Service) or distributed, with each service behind a real HTTP
+// endpoint and the engine receiving detection callbacks over HTTP.
+package system
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/bindings"
+	"repro/internal/datalog"
+	"repro/internal/engine"
+	"repro/internal/events"
+	"repro/internal/grh"
+	"repro/internal/protocol"
+	"repro/internal/ruleml"
+	"repro/internal/services"
+	"repro/internal/snoop"
+	"repro/internal/xmltree"
+)
+
+// Notification is one message "sent" by the domain action executor.
+type Notification struct {
+	Message *xmltree.Node
+	Tuple   bindings.Tuple
+}
+
+// Notifier collects sent messages (the customer-facing side of the
+// car-rental example). Safe for concurrent use.
+type Notifier struct {
+	mu   sync.Mutex
+	sent []Notification
+	hook func(Notification)
+}
+
+// Send records a message.
+func (n *Notifier) Send(msg *xmltree.Node, t bindings.Tuple) {
+	n.mu.Lock()
+	n.sent = append(n.sent, Notification{msg, t})
+	h := n.hook
+	n.mu.Unlock()
+	if h != nil {
+		h(Notification{msg, t})
+	}
+}
+
+// Sent returns a snapshot of all messages sent so far.
+func (n *Notifier) Sent() []Notification {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Notification, len(n.sent))
+	copy(out, n.sent)
+	return out
+}
+
+// Reset clears the collected messages.
+func (n *Notifier) Reset() {
+	n.mu.Lock()
+	n.sent = nil
+	n.mu.Unlock()
+}
+
+// OnSend installs a hook invoked for every message.
+func (n *Notifier) OnSend(h func(Notification)) {
+	n.mu.Lock()
+	n.hook = h
+	n.mu.Unlock()
+}
+
+// Config parameterizes a System.
+type Config struct {
+	// Datalog is the rulebase for the LP-style query service; nil for an
+	// empty one.
+	Datalog *datalog.Program
+	// Namespaces are offered to query services for prefixed name tests.
+	Namespaces map[string]string
+	// Logger receives engine traces.
+	Logger engine.Logger
+	// Trace receives GRH traffic.
+	Trace grh.TraceFunc
+}
+
+// System is one wired deployment of the architecture.
+type System struct {
+	Stream   *events.Stream
+	Store    *services.DocStore
+	GRH      *grh.GRH
+	Engine   *engine.Engine
+	Notifier *Notifier
+
+	Matcher *services.EventMatcher
+	Snoop   *services.SnoopService
+	XQuery  *services.XQueryService
+	Datalog *services.DatalogService
+	Actions *services.ActionExecutor
+}
+
+// NewLocal wires every service in-process, the deployment used by the
+// quickstart example and most tests.
+func NewLocal(cfg Config) (*System, error) {
+	s := &System{
+		Stream:   events.NewStream(),
+		Store:    services.NewDocStore(),
+		GRH:      grh.New(),
+		Notifier: &Notifier{},
+	}
+	if cfg.Trace != nil {
+		s.GRH.SetTrace(cfg.Trace)
+	}
+	var engineOpts []engine.Option
+	if cfg.Logger != nil {
+		engineOpts = append(engineOpts, engine.WithLogger(cfg.Logger))
+	}
+	s.Engine = engine.New(s.GRH, engineOpts...)
+	deliver := &services.Deliverer{Local: s.Engine.OnDetection}
+
+	s.Matcher = services.NewEventMatcher(s.Stream, deliver)
+	s.Snoop = services.NewSnoopService(s.Stream, deliver)
+	s.XQuery = services.NewXQueryService(s.Store, cfg.Namespaces)
+	s.Actions = services.NewActionExecutor(s.Store, s.Stream, s.Notifier.Send)
+
+	prog := cfg.Datalog
+	if prog == nil {
+		prog = &datalog.Program{}
+	}
+	dl, err := services.NewDatalogService(prog)
+	if err != nil {
+		return nil, fmt.Errorf("system: datalog rulebase: %w", err)
+	}
+	s.Datalog = dl
+
+	regs := []grh.Descriptor{
+		{Language: services.MatcherNS, Name: "atomic event matcher", Kinds: []ruleml.ComponentKind{ruleml.EventComponent}, FrameworkAware: true, Local: s.Matcher},
+		{Language: snoop.NS, Name: "SNOOP detection service", Kinds: []ruleml.ComponentKind{ruleml.EventComponent}, FrameworkAware: true, Local: s.Snoop},
+		{Language: services.XQueryNS, Name: "XQuery service", Kinds: []ruleml.ComponentKind{ruleml.QueryComponent}, FrameworkAware: true, Local: s.XQuery},
+		{Language: services.DatalogNS, Name: "Datalog service", Kinds: []ruleml.ComponentKind{ruleml.QueryComponent}, FrameworkAware: true, Local: s.Datalog},
+		{Language: services.TestNS, Name: "test evaluator", Kinds: []ruleml.ComponentKind{ruleml.TestComponent}, FrameworkAware: true, Local: services.TestEvaluator{}},
+		{Language: services.ActionNS, Name: "action executor", Kinds: []ruleml.ComponentKind{ruleml.ActionComponent}, FrameworkAware: true, Local: s.Actions},
+	}
+	for _, d := range regs {
+		if err := s.GRH.Register(d); err != nil {
+			return nil, err
+		}
+	}
+	s.GRH.SetDefault(ruleml.EventComponent, services.MatcherNS)
+	s.GRH.SetDefault(ruleml.QueryComponent, services.XQueryNS)
+	s.GRH.SetDefault(ruleml.TestComponent, services.TestNS)
+	s.GRH.SetDefault(ruleml.ActionComponent, services.ActionNS)
+	return s, nil
+}
+
+// Mux builds the HTTP surface of a distributed deployment: every component
+// service mounted under its conventional path, plus the engine's detection
+// callback and rule/event management endpoints used by ecactl.
+//
+//	POST /services/matcher    eca:request (register/unregister)
+//	POST /services/snoop      eca:request
+//	POST /services/xquery     eca:request (query)
+//	POST /services/datalog    eca:request (query)
+//	POST /services/test       eca:request (test)
+//	POST /services/action     eca:request (action)
+//	GET  /opaque/store?query= raw XPath  (framework-unaware, Fig. 9)
+//	GET  /opaque/xquery?query= raw XQuery (framework-unaware, Fig. 10)
+//	POST /engine/detect       log:answers (detection callback)
+//	POST /engine/rules        eca:rule document → registers the rule
+//	POST /events              event payload → published on the stream
+//	GET  /engine/stats        plain-text counters
+func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/services/matcher", services.Handler(s.Matcher))
+	mux.Handle("/services/snoop", services.Handler(s.Snoop))
+	mux.Handle("/services/xquery", services.Handler(s.XQuery))
+	mux.Handle("/services/datalog", services.Handler(s.Datalog))
+	mux.Handle("/services/test", services.Handler(services.TestEvaluator{}))
+	mux.Handle("/services/action", services.Handler(s.Actions))
+	if opaqueDoc != nil {
+		mux.Handle("/opaque/store", services.NewOpaqueXMLStore(opaqueDoc, namespaces))
+	}
+	mux.Handle("/opaque/xquery", services.NewOpaqueXQueryNode(s.Store, namespaces))
+	mux.HandleFunc("/engine/detect", func(w http.ResponseWriter, r *http.Request) {
+		doc, err := xmltree.Parse(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		a, err := protocol.DecodeAnswers(doc)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.Engine.OnDetection(a)
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/engine/rules", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			for _, id := range s.Engine.Rules() {
+				fmt.Fprintln(w, id)
+			}
+			return
+		}
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST an eca:rule document, or GET the rule list", http.StatusMethodNotAllowed)
+			return
+		}
+		doc, err := xmltree.Parse(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rule, err := ruleml.Parse(doc)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		if err := s.Engine.Register(rule); err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		fmt.Fprintln(w, rule.ID)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST an event document", http.StatusMethodNotAllowed)
+			return
+		}
+		doc, err := xmltree.Parse(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ev := s.Stream.Publish(events.New(doc))
+		fmt.Fprintf(w, "%d\n", ev.Seq)
+	})
+	mux.HandleFunc("/engine/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Engine.Stats()
+		fmt.Fprintf(w, "rules %d\ninstances_created %d\ninstances_completed %d\ninstances_died %d\naction_runs %d\nnotifications %d\n",
+			st.RulesRegistered, st.InstancesCreated, st.InstancesCompleted, st.InstancesDied, st.ActionRuns, len(s.Notifier.Sent()))
+	})
+	return mux
+}
+
+// Distribute re-registers every component language in the GRH as a REMOTE
+// service at baseURL (as produced by Mux), turning the in-process wiring
+// into the distributed architecture of Fig. 3: all component communication
+// then travels over HTTP through the wire protocol. The engine keeps
+// receiving detections locally unless replyTo routing is configured on the
+// services' Deliverer.
+func (s *System) Distribute(baseURL string) error {
+	remote := []grh.Descriptor{
+		{Language: services.MatcherNS, Name: "atomic event matcher (remote)", Kinds: []ruleml.ComponentKind{ruleml.EventComponent}, FrameworkAware: true, Endpoint: baseURL + "/services/matcher"},
+		{Language: snoop.NS, Name: "SNOOP detection service (remote)", Kinds: []ruleml.ComponentKind{ruleml.EventComponent}, FrameworkAware: true, Endpoint: baseURL + "/services/snoop"},
+		{Language: services.XQueryNS, Name: "XQuery service (remote)", Kinds: []ruleml.ComponentKind{ruleml.QueryComponent}, FrameworkAware: true, Endpoint: baseURL + "/services/xquery"},
+		{Language: services.DatalogNS, Name: "Datalog service (remote)", Kinds: []ruleml.ComponentKind{ruleml.QueryComponent}, FrameworkAware: true, Endpoint: baseURL + "/services/datalog"},
+		{Language: services.TestNS, Name: "test evaluator (remote)", Kinds: []ruleml.ComponentKind{ruleml.TestComponent}, FrameworkAware: true, Endpoint: baseURL + "/services/test"},
+		{Language: services.ActionNS, Name: "action executor (remote)", Kinds: []ruleml.ComponentKind{ruleml.ActionComponent}, FrameworkAware: true, Endpoint: baseURL + "/services/action"},
+	}
+	for _, d := range remote {
+		if err := s.GRH.Register(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

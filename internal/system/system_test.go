@@ -1,0 +1,251 @@
+package system
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/engine"
+	"repro/internal/events"
+	"repro/internal/grh"
+	"repro/internal/protocol"
+	"repro/internal/ruleml"
+	"repro/internal/services"
+	"repro/internal/xmltree"
+)
+
+const tNS = "http://t/"
+
+func simpleRuleXML(id string) string {
+	return `<eca:rule xmlns:eca="` + protocol.ECANS + `" xmlns:t="` + tNS + `" id="` + id + `">
+	  <eca:event><t:ping x="$X"/></eca:event>
+	  <eca:action><t:pong x="$X"/></eca:action>
+	</eca:rule>`
+}
+
+func TestNotifierCollectsAndHooks(t *testing.T) {
+	n := &Notifier{}
+	var hooked []string
+	n.OnSend(func(x Notification) { hooked = append(hooked, x.Message.Name.Local) })
+	n.Send(xmltree.NewElement("", "a"), nil)
+	n.Send(xmltree.NewElement("", "b"), nil)
+	if len(n.Sent()) != 2 || len(hooked) != 2 {
+		t.Fatalf("sent=%d hooked=%d", len(n.Sent()), len(hooked))
+	}
+	n.Reset()
+	if len(n.Sent()) != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestMuxManagementEndpoints(t *testing.T) {
+	sys, err := NewLocal(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(sys.Mux(nil, nil))
+	defer srv.Close()
+
+	// Register a rule over HTTP.
+	resp, err := http.Post(srv.URL+"/engine/rules", "application/xml", strings.NewReader(simpleRuleXML("http-rule")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "http-rule" {
+		t.Fatalf("register: %d %q", resp.StatusCode, body)
+	}
+
+	// Publish an event over HTTP.
+	ev := `<t:ping xmlns:t="` + tNS + `" x="7"/>`
+	resp, err = http.Post(srv.URL+"/events", "application/xml", strings.NewReader(ev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "1" {
+		t.Fatalf("event: %d %q", resp.StatusCode, body)
+	}
+	if got := len(sys.Notifier.Sent()); got != 1 {
+		t.Fatalf("rule did not fire over HTTP: %d", got)
+	}
+
+	// Stats endpoint.
+	resp, err = http.Get(srv.URL + "/engine/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"rules 1", "instances_created 1", "notifications 1"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("stats missing %q:\n%s", want, body)
+		}
+	}
+
+	// Error paths.
+	resp, _ = http.Post(srv.URL+"/engine/rules", "application/xml", strings.NewReader("<bogus/>"))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bad rule status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Get(srv.URL + "/engine/rules")
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "http-rule" {
+		t.Errorf("GET rules = %d %q", resp.StatusCode, body)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/engine/rules", nil)
+	resp, _ = http.DefaultClient.Do(req)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE rules status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Post(srv.URL+"/events", "application/xml", strings.NewReader("not xml"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad event status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestTwoNodeDistributedDetection runs the event service and the engine on
+// two different "nodes": node A hosts the stream and the matcher, node B
+// hosts the engine. The registration travels A-ward with a ReplyTo URL, and
+// detections come back through B's /engine/detect callback — the fully
+// remote path of Fig. 3.
+func TestTwoNodeDistributedDetection(t *testing.T) {
+	// Node A: stream + matcher, delivering via HTTP only.
+	nodeA, err := NewLocal(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA := httptest.NewServer(nodeA.Mux(nil, nil))
+	defer srvA.Close()
+
+	// Node B: engine whose GRH knows the matcher only as a remote service,
+	// and which hands out its own detection callback URL.
+	nodeB, err := NewLocal(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB := httptest.NewServer(nodeB.Mux(nil, nil))
+	defer srvB.Close()
+	if err := nodeB.GRH.Register(grh.Descriptor{
+		Language:       services.MatcherNS,
+		Name:           "matcher on node A",
+		Kinds:          []ruleml.ComponentKind{ruleml.EventComponent},
+		FrameworkAware: true,
+		Endpoint:       srvA.URL + "/services/matcher",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild node B's engine with the callback URL (engine options are
+	// fixed at construction).
+	nodeB.Engine = engine.New(nodeB.GRH, engine.WithReplyTo(srvB.URL+"/engine/detect"))
+
+	rule := ruleml.MustParse(simpleRuleXML("remote"))
+	if err := nodeB.Engine.Register(rule); err != nil {
+		t.Fatal(err)
+	}
+	// The registration must have reached node A.
+	if nodeA.Matcher.Registrations() != 1 {
+		t.Fatalf("node A registrations = %d", nodeA.Matcher.Registrations())
+	}
+	// An event on node A's stream must fire node B's rule via the callback.
+	payload := xmltree.NewElement(tNS, "ping")
+	payload.SetAttr("", "x", "42")
+	nodeA.Stream.Publish(events.New(payload))
+	sent := nodeB.Notifier.Sent()
+	if len(sent) != 1 || sent[0].Message.AttrValue("", "x") != "42" {
+		t.Fatalf("node B notifications = %+v", sent)
+	}
+}
+
+func TestDistributeRewiresEverything(t *testing.T) {
+	sys, err := NewLocal(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(sys.Mux(nil, nil))
+	defer srv.Close()
+	if err := sys.Distribute(srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	for _, lang := range sys.GRH.Languages() {
+		d, _ := sys.GRH.Lookup(lang)
+		if d.Local != nil || d.Endpoint == "" {
+			t.Errorf("language %s still local after Distribute", lang)
+		}
+	}
+}
+
+func TestConfigDatalogErrorPropagates(t *testing.T) {
+	prog := datalog.MustParse(`win(X) :- move(X, Y), not win(Y). move(a, a).`)
+	if _, err := NewLocal(Config{Datalog: prog}); err == nil {
+		t.Error("unstratifiable rulebase should fail wiring")
+	}
+}
+
+func TestEngineDetectEndpointRejectsGarbage(t *testing.T) {
+	sys, err := NewLocal(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(sys.Mux(nil, nil))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/engine/detect", "application/xml", strings.NewReader("<wrong/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("detect garbage status = %d", resp.StatusCode)
+	}
+}
+
+func TestOpaqueEndpointsMounted(t *testing.T) {
+	sys, err := NewLocal(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Store.Put("d", xmltree.MustParse(`<d><v>1</v></d>`))
+	opaqueDoc := xmltree.MustParse(`<root><item k="a"/></root>`)
+	srv := httptest.NewServer(sys.Mux(opaqueDoc, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/opaque/store?query=" + urlQueryEscape("//item/@k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "a") {
+		t.Errorf("opaque store = %q", body)
+	}
+	resp, err = http.Get(srv.URL + "/opaque/xquery?query=" + urlQueryEscape("doc('d')//v/text()"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "1") {
+		t.Errorf("opaque xquery = %q", body)
+	}
+}
+
+func urlQueryEscape(s string) string {
+	var b strings.Builder
+	for _, c := range []byte(s) {
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			b.WriteByte(c)
+		} else {
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	return b.String()
+}

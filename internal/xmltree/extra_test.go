@@ -1,0 +1,148 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindAndNameString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		DocumentNode: "document", ElementNode: "element", TextNode: "text",
+		CommentNode: "comment", ProcInstNode: "procinst", AttrNode: "attribute",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind = %q, want %q", k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Error("unknown kind should include its number")
+	}
+	if (Name{Local: "x"}).String() != "x" {
+		t.Error("plain name")
+	}
+	if (Name{Space: "u", Local: "x"}).String() != "{u}x" {
+		t.Error("clark notation")
+	}
+}
+
+func TestCommentAndProcInstRoundTrip(t *testing.T) {
+	doc := MustParse(`<?xml version="1.0"?><a><!-- a comment --><?target data?></a>`)
+	s := doc.String()
+	if !strings.Contains(s, "<!-- a comment -->") || !strings.Contains(s, "<?target data?>") {
+		t.Errorf("serialized = %q", s)
+	}
+	re, err := ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []Kind
+	for _, c := range re.Root().Children {
+		kinds = append(kinds, c.Kind)
+	}
+	if len(kinds) != 2 || kinds[0] != CommentNode || kinds[1] != ProcInstNode {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestAttrNodes(t *testing.T) {
+	e := MustParse(`<a x="1" xmlns:p="u" p:y="2"/>`).Root()
+	attrs := e.AttrNodes()
+	if len(attrs) != 2 {
+		t.Fatalf("attr nodes = %d (xmlns must be excluded)", len(attrs))
+	}
+	if attrs[0].Kind != AttrNode || attrs[0].Parent != e {
+		t.Errorf("attr node = %+v", attrs[0])
+	}
+	if attrs[0].TextContent() != "1" {
+		t.Errorf("attr text = %q", attrs[0].TextContent())
+	}
+}
+
+func TestRootCases(t *testing.T) {
+	if (*Node)(nil).Root() != nil {
+		t.Error("nil root")
+	}
+	el := NewElement("", "x")
+	if el.Root() != el {
+		t.Error("element is its own root")
+	}
+	if NewText("t").Root() != nil {
+		t.Error("text has no root")
+	}
+	doc := NewDocument()
+	doc.Append(NewComment("c"))
+	if doc.Root() != nil {
+		t.Error("document without element has no root")
+	}
+}
+
+func TestFirstChildElementWildcards(t *testing.T) {
+	doc := MustParse(`<r><a xmlns="u1"/><a/></r>`)
+	r := doc.Root()
+	if n := r.FirstChildElement("*", "a"); n == nil || n.Name.Space != "u1" {
+		t.Errorf("wildcard first = %v", n)
+	}
+	if n := r.FirstChildElement("", "a"); n == nil || n.Name.Space != "" {
+		t.Errorf("no-ns first = %v", n)
+	}
+	if got := len(r.ChildElementsNamed("*", "a")); got != 2 {
+		t.Errorf("wildcard named = %d", got)
+	}
+}
+
+func TestSetAttrReplaces(t *testing.T) {
+	e := NewElement("", "x")
+	e.SetAttr("", "k", "1")
+	e.SetAttr("", "k", "2")
+	if len(e.Attrs) != 1 || e.AttrValue("", "k") != "2" {
+		t.Errorf("attrs = %v", e.Attrs)
+	}
+}
+
+func TestTextContentNilSafe(t *testing.T) {
+	if (*Node)(nil).TextContent() != "" {
+		t.Error("nil TextContent")
+	}
+	if (Attr{Name: Name{Space: "xmlns", Local: "p"}}).IsNamespaceDecl() != true {
+		t.Error("xmlns:p is a decl")
+	}
+	if (Attr{Name: Name{Local: "xmlns"}}).IsNamespaceDecl() != true {
+		t.Error("xmlns is a decl")
+	}
+	if (Attr{Name: Name{Local: "x"}}).IsNamespaceDecl() {
+		t.Error("x is not a decl")
+	}
+}
+
+func TestPrefixRebinding(t *testing.T) {
+	// The same prefix bound to different URIs at different depths.
+	doc := MustParse(`<p:a xmlns:p="u1"><p:b xmlns:p="u2"/><p:c/></p:a>`)
+	root := doc.Root()
+	if root.Name.Space != "u1" {
+		t.Fatalf("root ns = %q", root.Name.Space)
+	}
+	kids := root.ChildElements()
+	if kids[0].Name.Space != "u2" || kids[1].Name.Space != "u1" {
+		t.Fatalf("child spaces = %q, %q", kids[0].Name.Space, kids[1].Name.Space)
+	}
+	// Round trip preserves the resolution.
+	re := MustParse(doc.String())
+	if !Equal(doc, re) {
+		t.Errorf("rebinding round trip:\n%s\n%s", doc, re)
+	}
+}
+
+func TestCloneNil(t *testing.T) {
+	if (*Node)(nil).Clone() != nil {
+		t.Error("nil Clone")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad XML")
+		}
+	}()
+	MustParse("<unclosed")
+}

@@ -1,0 +1,199 @@
+package xq
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	ctx := testCtx(nil)
+	ctx.Docs = func(string) (*xmltree.Node, error) {
+		return xmltree.MustParse(`<r>
+			<i g="2" n="b"/><i g="1" n="b"/><i g="2" n="a"/><i g="1" n="a"/>
+		</r>`), nil
+	}
+	seq := run2(t, ctx, `for $i in doc('d')//i order by $i/@g, $i/@n return concat($i/@g, $i/@n)`)
+	if got := strings.Join(strs(seq), "|"); got != "1a|1b|2a|2b" {
+		t.Errorf("multi-key order = %q", got)
+	}
+	seq = run2(t, ctx, `for $i in doc('d')//i order by $i/@g descending, $i/@n return concat($i/@g, $i/@n)`)
+	if got := strings.Join(strs(seq), "|"); got != "2a|2b|1a|1b" {
+		t.Errorf("desc+asc order = %q", got)
+	}
+}
+
+func run2(t *testing.T, ctx *Context, src string) Sequence {
+	t.Helper()
+	q, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	seq, err := q.Eval(ctx)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return seq
+}
+
+func TestLetBindsWholeSequence(t *testing.T) {
+	seq := run(t, `let $all := doc('cars.xml')//car return count($all)`, nil)
+	if strs(seq)[0] != "3" {
+		t.Errorf("let = %v", strs(seq))
+	}
+	// Multiple lets in one clause.
+	seq = run(t, `let $a := 1, $b := 2 return $a + $b`, nil)
+	if strs(seq)[0] != "3" {
+		t.Errorf("multi-let = %v", strs(seq))
+	}
+}
+
+func TestNestedFLWOR(t *testing.T) {
+	seq := run(t, `
+		for $o in doc('cars.xml')//owner
+		return string-join((for $c in $o/car return string($c/model)), '+')`, nil)
+	if got := strings.Join(strs(seq), "|"); got != "VW Golf+VW Passat|Twingo" {
+		t.Errorf("nested flwor = %q", got)
+	}
+}
+
+func TestIfInsideFLWOR(t *testing.T) {
+	seq := run(t, `
+		for $c in doc('cars.xml')//car
+		return if ($c/year > 2004) then concat('new:', $c/model) else concat('old:', $c/model)`, nil)
+	if got := strings.Join(strs(seq), "|"); got != "old:VW Golf|new:VW Passat|new:Twingo" {
+		t.Errorf("if in flwor = %q", got)
+	}
+}
+
+func TestWhereWithXQFunction(t *testing.T) {
+	seq := run(t, `
+		for $o in doc('cars.xml')//owner
+		where exists($o/car[year > 2004])
+		return string($o/@name)`, nil)
+	if got := strings.Join(strs(seq), "|"); got != "John Doe|Jane Roe" {
+		t.Errorf("where exists = %q", got)
+	}
+}
+
+func TestConstructorAttrMixedTemplate(t *testing.T) {
+	seq := run(t, `<x label="value is {1+1} units"/>`, nil)
+	n := seq[0].(*xmltree.Node)
+	if got := n.AttrValue("", "label"); got != "value is 2 units" {
+		t.Errorf("attr template = %q", got)
+	}
+}
+
+func TestEmptySequenceInContent(t *testing.T) {
+	seq := run(t, `<x>{()}</x>`, nil)
+	n := seq[0].(*xmltree.Node)
+	if n.TextContent() != "" || len(n.Children) != 0 {
+		t.Errorf("empty enclosed = %s", n)
+	}
+}
+
+func TestDocInsidePredicate(t *testing.T) {
+	// doc() usable anywhere in an XPath span via the custom function hook.
+	seq := run(t, `count(doc('classes.xml')//entry[@class='B'])`, nil)
+	if strs(seq)[0] != "1" {
+		t.Errorf("doc in predicate = %v", strs(seq))
+	}
+}
+
+func TestSequenceOfConstructors(t *testing.T) {
+	seq := run(t, `(<a/>, <b/>, 'text')`, nil)
+	if len(seq) != 3 {
+		t.Fatalf("seq = %v", strs(seq))
+	}
+	if seq[0].(*xmltree.Node).Name.Local != "a" || seq[1].(*xmltree.Node).Name.Local != "b" {
+		t.Errorf("constructors = %v", strs(seq))
+	}
+}
+
+func TestFLWORInParens(t *testing.T) {
+	seq := run(t, `count((for $c in doc('cars.xml')//car return $c))`, nil)
+	if strs(seq)[0] != "3" {
+		t.Errorf("flwor in parens = %v", strs(seq))
+	}
+}
+
+func TestDeepNestedConstructors(t *testing.T) {
+	seq := run(t, `<a><b><c n="{2*3}">{'x'}</c></b></a>`, nil)
+	n := seq[0].(*xmltree.Node)
+	c := n.ChildElements()[0].ChildElements()[0]
+	if c.AttrValue("", "n") != "6" || c.TextContent() != "x" {
+		t.Errorf("nested = %s", n)
+	}
+}
+
+func TestQueryStringAccessor(t *testing.T) {
+	src := `for $x in (1) return $x`
+	if MustCompile(src).String() != src {
+		t.Error("String() should return source")
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile should panic")
+		}
+	}()
+	MustCompile(`for $x in`)
+}
+
+func TestWhitespaceOnlyContentStripped(t *testing.T) {
+	seq := run(t, `<a>
+		<b/>
+	</a>`, nil)
+	n := seq[0].(*xmltree.Node)
+	for _, c := range n.Children {
+		if c.Kind == xmltree.TextNode {
+			t.Errorf("boundary whitespace kept: %q", c.Text)
+		}
+	}
+}
+
+func TestCountFollowedByOperatorStaysXPath(t *testing.T) {
+	// count(...) > 1 must be parsed as one XPath span (the xq-level count
+	// only takes over when the call is the whole operand).
+	seq := run(t, `count(doc('cars.xml')//car) > 2`, nil)
+	if strs(seq)[0] != "true" {
+		t.Errorf("count>2 = %v", strs(seq))
+	}
+	seq = run(t, `for $o in doc('cars.xml')//owner where count($o/car) > 1 return string($o/@name)`, nil)
+	if got := strings.Join(strs(seq), "|"); got != "John Doe" {
+		t.Errorf("where count = %q", got)
+	}
+	// sum at head position over a sequence literal.
+	seq = run(t, `sum((1, 2, 3))`, nil)
+	if strs(seq)[0] != "6" {
+		t.Errorf("sum = %v", strs(seq))
+	}
+}
+
+func TestPositionalVariable(t *testing.T) {
+	seq := run(t, `for $m at $i in doc('cars.xml')//model return concat($i, ':', string($m))`, nil)
+	if got := strings.Join(strs(seq), "|"); got != "1:VW Golf|2:VW Passat|3:Twingo" {
+		t.Errorf("positional = %q", got)
+	}
+	// Positional works per for-clause binding.
+	seq = run(t, `for $o at $i in doc('cars.xml')//owner, $c at $j in $o/car
+		return concat($i, '.', $j)`, nil)
+	if got := strings.Join(strs(seq), "|"); got != "1.1|1.2|2.1" {
+		t.Errorf("nested positional = %q", got)
+	}
+	if _, err := Compile(`for $x at in (1) return $x`); err == nil {
+		t.Error("missing positional variable should fail")
+	}
+}
+
+func TestItemStringVariants(t *testing.T) {
+	if ItemString(3.5) != "3.5" || ItemString(true) != "true" || ItemString("s") != "s" {
+		t.Error("atomics")
+	}
+	if ItemString(xmltree.MustParse(`<v>7</v>`).Root()) != "7" {
+		t.Error("node string-value")
+	}
+}

@@ -1,0 +1,61 @@
+package eca_test
+
+import (
+	"fmt"
+	"testing"
+
+	eca "repro"
+	"repro/internal/protocol"
+	"repro/internal/xmltree"
+)
+
+// TestSoakManyRulesManyEvents pushes 5 000 events through 100 rules (half
+// matching, half not) and checks totals — a guard against accidental
+// quadratic state growth in the matcher, the engine bookkeeping or the
+// binding relations.
+func TestSoakManyRulesManyEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	sys, err := eca.NewLocal(eca.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rules = 100
+	for i := 0; i < rules; i++ {
+		src := fmt.Sprintf(`<eca:rule xmlns:eca="%s" xmlns:t="http://t/" id="r%03d">
+		  <eca:event><t:e%d x="$X"/></eca:event>
+		  <eca:test>$X mod 2 = 0</eca:test>
+		  <eca:action><t:a x="$X"/></eca:action>
+		</eca:rule>`, protocol.ECANS, i, i%10) // 10 distinct event names
+		rule, err := eca.ParseRule(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Engine.Register(rule); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const eventsN = 5000
+	for i := 0; i < eventsN; i++ {
+		name := fmt.Sprintf("e%d", i%20) // half the names match no rule
+		e := xmltree.NewElement("http://t/", name)
+		e.SetAttr("", "x", fmt.Sprint(i))
+		sys.Stream.Publish(eca.NewEvent(e))
+	}
+	st := sys.Engine.Stats()
+	// Each matching event (name e0..e9, 2500 of them) triggers 10 rules.
+	wantInstances := 2500 * 10
+	if st.InstancesCreated != wantInstances {
+		t.Fatalf("instances = %d, want %d", st.InstancesCreated, wantInstances)
+	}
+	// Even x fires, odd dies at the test; events alternate parity per name
+	// bucket, so exactly half fire.
+	if st.InstancesCompleted != wantInstances/2 || st.InstancesDied != wantInstances/2 {
+		t.Fatalf("completed/died = %d/%d, want %d/%d",
+			st.InstancesCompleted, st.InstancesDied, wantInstances/2, wantInstances/2)
+	}
+	if got := len(sys.Notifier.Sent()); got != wantInstances/2 {
+		t.Fatalf("notifications = %d", got)
+	}
+}

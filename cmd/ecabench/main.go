@@ -5,6 +5,11 @@
 //	ecabench -figs           # replay all figures (1–11)
 //	ecabench -series join    # run one performance series
 //	ecabench -all            # figures + every series
+//
+// The exit status is non-zero when any figure replay fails its assertions
+// (e.g. the Fig. 11 join does not leave exactly one surviving tuple) or a
+// series errors; all figures are still attempted so one failure does not
+// hide another.
 package main
 
 import (
@@ -25,35 +30,44 @@ func main() {
 	)
 	flag.Parse()
 
+	failed := 0
 	switch {
 	case *fig != 0:
-		fail(bench.RunFigure(*fig, os.Stdout))
+		failed += report(fmt.Sprintf("figure %d", *fig), bench.RunFigure(*fig, os.Stdout))
 	case *figs:
-		runFigs()
+		failed += runFigs()
 	case *series != "":
-		fail(bench.RunSeries(*series, os.Stdout))
+		failed += report("series "+*series, bench.RunSeries(*series, os.Stdout))
 	case *all:
-		runFigs()
+		failed += runFigs()
 		for _, s := range bench.Series() {
 			fmt.Println()
-			fail(bench.RunSeries(s, os.Stdout))
+			failed += report("series "+s, bench.RunSeries(s, os.Stdout))
 		}
 	default:
 		flag.Usage()
 		fmt.Fprintf(os.Stderr, "\nfigures: %v\nseries: %v\n", bench.Figures(), bench.Series())
 		os.Exit(2)
 	}
+	if failed > 0 {
+		log.Printf("ecabench: %d replay(s) FAILED", failed)
+		os.Exit(1)
+	}
 }
 
-func runFigs() {
+func runFigs() (failed int) {
 	for _, n := range bench.Figures() {
 		fmt.Printf("\n════════ Figure %d ════════\n\n", n)
-		fail(bench.RunFigure(n, os.Stdout))
+		failed += report(fmt.Sprintf("figure %d", n), bench.RunFigure(n, os.Stdout))
 	}
+	return failed
 }
 
-func fail(err error) {
+// report logs a failed replay and returns 1 for it, 0 otherwise.
+func report(what string, err error) int {
 	if err != nil {
-		log.Fatal(err)
+		log.Printf("%s: %v", what, err)
+		return 1
 	}
+	return 0
 }

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	ecad -addr :8080 [-rule file.xml]... [-doc uri=file.xml]... \
-//	     [-datalog rules.dl] [-travel] [-distribute] [-v]
+//	     [-datalog rules.dl] [-travel] [-distribute] [-metrics] [-v]
 //
 // With -travel the daemon preloads the paper's car-rental scenario
 // (documents, opaque service endpoints and the Fig. 4 rule). With
@@ -27,6 +27,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/domain/travel"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/ruleml"
 	"repro/internal/system"
@@ -45,6 +46,7 @@ func main() {
 		registry   = flag.String("registry", "", "Turtle file with language-service descriptions to register (ontology-driven dispatch)")
 		loadTravel = flag.Bool("travel", false, "preload the car-rental running example")
 		distribute = flag.Bool("distribute", false, "route all component traffic over this daemon's HTTP endpoints")
+		metrics    = flag.Bool("metrics", true, "expose /metrics and /debug/traces (observability hub)")
 		verbose    = flag.Bool("v", false, "log engine evaluation traces")
 		rules      repeated
 		docs       repeated
@@ -53,13 +55,16 @@ func main() {
 	flag.Var(&docs, "doc", "uri=file pair to load into the document store (repeatable)")
 	flag.Parse()
 
-	if err := run(*addr, *datalogSrc, *registry, *loadTravel, *distribute, *verbose, rules, docs); err != nil {
+	if err := run(*addr, *datalogSrc, *registry, *loadTravel, *distribute, *metrics, *verbose, rules, docs); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, datalogSrc, registry string, loadTravel, distribute, verbose bool, rules, docs []string) error {
+func run(addr, datalogSrc, registry string, loadTravel, distribute, metrics, verbose bool, rules, docs []string) error {
 	cfg := system.Config{Namespaces: travel.Namespaces()}
+	if metrics {
+		cfg.Obs = obs.NewHub()
+	}
 	if verbose {
 		cfg.Logger = engine.LoggerFunc(log.Printf)
 	}
@@ -127,6 +132,9 @@ func run(addr, datalogSrc, registry string, loadTravel, distribute, verbose bool
 		}
 	}()
 	log.Printf("ecad listening on %s", base)
+	if metrics {
+		log.Printf("observability on: %s/metrics %s/debug/traces %s/healthz", base, base, base)
+	}
 
 	if distribute {
 		if err := sys.Distribute(base); err != nil {

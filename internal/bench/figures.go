@@ -266,60 +266,70 @@ func figFlow(n int, w io.Writer) error {
 		11: "# Fig. 11 — join semantics: only class-B tuples survive; one action per tuple",
 	}
 	fmt.Fprintln(w, headers[n])
+	shown := 0
 	switch n {
 	case 5:
-		printTraces(w, run.Traces, func(t Trace) bool {
+		shown = printTraces(w, run.Traces, func(t Trace) bool {
 			return strings.Contains(t.Payload, `kind="register-event"`)
 		})
 	case 6:
-		printLog(w, run.EngineLog, "event", "instance created")
+		shown = printLog(w, run.EngineLog, "event", "instance created")
 	case 7:
-		printTraces(w, run.Traces, func(t Trace) bool {
+		shown = printTraces(w, run.Traces, func(t Trace) bool {
 			return t.Dir == "→" && strings.Contains(t.Payload, `component="query[1]"`)
 		})
 	case 8:
-		printTraces(w, run.Traces, func(t Trace) bool {
+		shown = printTraces(w, run.Traces, func(t Trace) bool {
 			return t.Dir == "←" && t.Peer == "XQuery service"
 		})
-		printLog(w, run.EngineLog, "after query[1]")
+		shown += printLog(w, run.EngineLog, "after query[1]")
 	case 9:
-		printTraces(w, run.Traces, func(t Trace) bool {
+		shown = printTraces(w, run.Traces, func(t Trace) bool {
 			return strings.Contains(t.Peer, run.Sc.StoreURL)
 		})
-		printLog(w, run.EngineLog, "after query[2]")
+		shown += printLog(w, run.EngineLog, "after query[2]")
 	case 10:
-		printTraces(w, run.Traces, func(t Trace) bool {
+		shown = printTraces(w, run.Traces, func(t Trace) bool {
 			return strings.Contains(t.Peer, run.Sc.XQueryURL)
 		})
 	case 11:
-		printLog(w, run.EngineLog, "after query[3]", "action")
+		shown = printLog(w, run.EngineLog, "after query[3]", "action")
 		for _, s := range run.Sc.Notifier.Sent() {
 			fmt.Fprintf(w, "message sent: %s\n", s.Message)
 		}
 		if len(run.Sc.Notifier.Sent()) != 1 {
-			return fmt.Errorf("fig11: expected exactly one surviving tuple, got %d", len(run.Sc.Notifier.Sent()))
+			return fmt.Errorf("fig%d: expected exactly one surviving tuple, got %d", n, len(run.Sc.Notifier.Sent()))
 		}
+	}
+	if shown == 0 {
+		return fmt.Errorf("fig%d: message flow replay produced no matching traffic", n)
 	}
 	return nil
 }
 
-func printTraces(w io.Writer, traces []Trace, keep func(Trace) bool) {
+func printTraces(w io.Writer, traces []Trace, keep func(Trace) bool) int {
+	n := 0
 	for _, t := range traces {
 		if keep(t) {
 			fmt.Fprintf(w, "%s %s\n%s\n\n", t.Dir, t.Peer, t.Payload)
+			n++
 		}
 	}
+	return n
 }
 
-func printLog(w io.Writer, lines []string, substrs ...string) {
+func printLog(w io.Writer, lines []string, substrs ...string) int {
+	n := 0
 	for _, l := range lines {
 		for _, s := range substrs {
 			if strings.Contains(l, s) {
 				fmt.Fprintln(w, l)
+				n++
 				break
 			}
 		}
 	}
+	return n
 }
 
 // grhComponent is re-exported for the series helpers.

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"net/http/httptest"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/domain/travel"
 	"repro/internal/events"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/ruleml"
 	"repro/internal/services"
@@ -29,30 +31,44 @@ func Series() []string {
 	return []string{"reg", "match", "snoop", "join", "grh", "e2e", "datalog", "xq", "xpath"}
 }
 
-// RunSeries executes one named series, printing a table to w.
+// RunSeries executes one named series, printing a table to w. Series that
+// exercise the system stack run against a fresh observability hub; its
+// metrics snapshot is appended after the table.
 func RunSeries(name string, w io.Writer) error {
+	hub := obs.NewHub()
+	var err error
 	switch name {
 	case "reg":
-		return seriesReg(w)
+		err = seriesReg(w, hub)
 	case "match":
-		return seriesMatch(w)
+		err = seriesMatch(w)
 	case "snoop":
-		return seriesSnoop(w)
+		err = seriesSnoop(w, hub)
 	case "join":
-		return seriesJoin(w)
+		err = seriesJoin(w)
 	case "grh":
-		return seriesGRH(w)
+		err = seriesGRH(w, hub)
 	case "e2e":
-		return seriesE2E(w)
+		err = seriesE2E(w, hub)
 	case "datalog":
-		return seriesDatalog(w)
+		err = seriesDatalog(w)
 	case "xq":
-		return seriesXQ(w)
+		err = seriesXQ(w)
 	case "xpath":
-		return seriesXPath(w)
+		err = seriesXPath(w)
 	default:
 		return fmt.Errorf("bench: unknown series %q (have %v)", name, Series())
 	}
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	hub.Metrics().WriteSummary(&buf)
+	if buf.Len() > 0 {
+		fmt.Fprintf(w, "\nmetrics snapshot (series %s):\n", name)
+		w.Write(buf.Bytes())
+	}
+	return nil
 }
 
 // measure runs f n times and returns ns/op.
@@ -73,11 +89,11 @@ func simpleRule(id string) *ruleml.Rule {
 
 // seriesReg: rule registrations per second vs. number of rules already
 // registered.
-func seriesReg(w io.Writer) error {
+func seriesReg(w io.Writer, hub *obs.Hub) error {
 	fmt.Fprintln(w, "series reg — rule registration cost vs. registered rules")
 	fmt.Fprintln(w, "rules\tns/register\tregisters/s")
 	for _, n := range []int{100, 1000, 5000} {
-		sys, err := system.NewLocal(system.Config{})
+		sys, err := system.NewLocal(system.Config{Obs: hub})
 		if err != nil {
 			return err
 		}
@@ -115,7 +131,7 @@ func seriesMatch(w io.Writer) error {
 }
 
 // seriesSnoop: composite detection throughput per operator and context.
-func seriesSnoop(w io.Writer) error {
+func seriesSnoop(w io.Writer, hub *obs.Hub) error {
 	fmt.Fprintln(w, "series snoop — composite event detection by operator × context")
 	fmt.Fprintln(w, "operator\tcontext\tns/event\tevents/s")
 	atomicA := &snoop.Atomic{Pattern: events.MustPattern(`<a k="$K"/>`)}
@@ -135,6 +151,7 @@ func seriesSnoop(w io.Writer) error {
 			if err != nil {
 				return err
 			}
+			det.SetObs(hub)
 			names := []string{"a", "b"}
 			seq := uint64(0)
 			nsop := measure(2000, func(i int) {
@@ -192,10 +209,10 @@ func seriesJoin(w io.Writer) error {
 
 // seriesGRH: dispatch overhead — in-process vs. HTTP framework-aware vs.
 // opaque per-tuple mediation.
-func seriesGRH(w io.Writer) error {
+func seriesGRH(w io.Writer, hub *obs.Hub) error {
 	fmt.Fprintln(w, "series grh — GRH dispatch overhead by transport (query with 2 input tuples)")
 	fmt.Fprintln(w, "transport\tns/dispatch\tdispatches/s")
-	sc, cleanup, err := travel.NewScenario(system.Config{})
+	sc, cleanup, err := travel.NewScenario(system.Config{Obs: hub})
 	if err != nil {
 		return err
 	}
@@ -254,11 +271,11 @@ func seriesGRH(w io.Writer) error {
 }
 
 // seriesE2E: end-to-end firings of the car-rental rule per second.
-func seriesE2E(w io.Writer) error {
+func seriesE2E(w io.Writer, hub *obs.Hub) error {
 	fmt.Fprintln(w, "series e2e — end-to-end car-rental rule firings (event → 3 queries → join → action)")
 	fmt.Fprintln(w, "deployment\tns/firing\tfirings/s")
 	for _, mode := range []string{"local", "distributed"} {
-		sc, cleanup, err := travel.NewScenario(system.Config{})
+		sc, cleanup, err := travel.NewScenario(system.Config{Obs: hub})
 		if err != nil {
 			return err
 		}

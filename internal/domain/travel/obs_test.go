@@ -1,0 +1,83 @@
+package travel
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/services"
+	"repro/internal/system"
+)
+
+// TestCarRentalFiringProducesSpanChain fires the running example once and
+// checks the rule-instance trace: the Fig. 4 rule evaluates as
+// event → query[1] → query[2] → query[3] → action[1], with the tuple counts
+// of the paper (2 own cars → 2 classes → 1 surviving class-B tuple).
+func TestCarRentalFiringProducesSpanChain(t *testing.T) {
+	hub := obs.NewHub()
+	sc, cleanup, err := NewScenario(system.Config{Obs: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+
+	sc.Book("John Doe", "Munich", "Paris")
+	if got := len(sc.Notifier.Sent()); got != 1 {
+		t.Fatalf("notifications = %d, want 1", got)
+	}
+
+	traces := hub.Traces().Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("instance traces = %d, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Rule != sc.Rule || tr.State != "completed" {
+		t.Errorf("trace rule=%q state=%q", tr.Rule, tr.State)
+	}
+
+	type step struct {
+		stage, component, mode string
+		in, out                int
+	}
+	want := []step{
+		{"event", "event[1]", "detection", 0, 1},
+		{"query", "query[1]", "grh", 1, 2},
+		{"query", "query[2]", "grh", 2, 2},
+		{"query", "query[3]", "grh", 2, 1},
+		{"action", "action[1]", "grh", 1, 1},
+	}
+	if len(tr.Spans) != len(want) {
+		t.Fatalf("spans = %d, want %d:\n%+v", len(tr.Spans), len(want), tr.Spans)
+	}
+	for i, w := range want {
+		s := tr.Spans[i]
+		if s.Stage != w.stage || s.Component != w.component || s.Mode != w.mode {
+			t.Errorf("span %d = %s/%s/%s, want %s/%s/%s", i, s.Stage, s.Component, s.Mode, w.stage, w.component, w.mode)
+		}
+		if s.TuplesIn != w.in || s.TuplesOut != w.out {
+			t.Errorf("span %d tuples = %d→%d, want %d→%d", i, s.TuplesIn, s.TuplesOut, w.in, w.out)
+		}
+		if s.Err != "" {
+			t.Errorf("span %d unexpected error %q", i, s.Err)
+		}
+	}
+
+	// The firing must also have moved the key metric families.
+	reg := hub.Metrics()
+	if v := reg.CounterVec("engine_instances", "", "state").With("created").Value(); v != 1 {
+		t.Errorf("engine_instances{created} = %d", v)
+	}
+	if v := reg.CounterVec("engine_instances", "", "state").With("completed").Value(); v != 1 {
+		t.Errorf("engine_instances{completed} = %d", v)
+	}
+	// query[2] mediates per-tuple (2 GETs) and query[3] once.
+	if v := reg.CounterVec("service_requests_total", "", "kind").With("opaque-store").Value(); v != 2 {
+		t.Errorf("service_requests_total{opaque-store} = %d", v)
+	}
+	if v := reg.CounterVec("service_requests_total", "", "kind").With("opaque-xquery").Value(); v != 1 {
+		t.Errorf("service_requests_total{opaque-xquery} = %d", v)
+	}
+	h := reg.HistogramVec("grh_dispatch_seconds", "", nil, "language", "mode").With(services.XQueryNS+"-opaque", "opaque")
+	if h.Count() == 0 {
+		t.Error("grh_dispatch_seconds{mode=opaque} recorded no observations")
+	}
+}

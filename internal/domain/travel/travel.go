@@ -177,9 +177,9 @@ func NewScenario(cfg system.Config) (*Scenario, func(), error) {
 	}
 	LoadStore(sys.Store)
 
-	classStore := services.NewOpaqueXMLStore(xmltree.MustParse(ClassesXML), nil)
+	classStore := services.NewOpaqueXMLStore(xmltree.MustParse(ClassesXML), nil).SetObs(cfg.Obs)
 	srvClasses := httptest.NewServer(classStore)
-	srvXQuery := httptest.NewServer(services.NewOpaqueXQueryNode(sys.Store, cfg.Namespaces))
+	srvXQuery := httptest.NewServer(services.NewOpaqueXQueryNode(sys.Store, cfg.Namespaces).SetObs(cfg.Obs))
 	cleanup := func() {
 		srvClasses.Close()
 		srvXQuery.Close()

@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/bindings"
 	"repro/internal/grh"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/ruleml"
 	"repro/internal/services"
@@ -47,6 +49,9 @@ type Engine struct {
 	analyzer ruleml.Analyzer
 	replyTo  string
 	log      Logger
+	hub      *obs.Hub
+	tr       *obs.Recorder
+	met      metrics
 
 	mu    sync.Mutex
 	rules map[string]*RuleState
@@ -61,6 +66,30 @@ type Engine struct {
 type instanceJob struct {
 	rs  *RuleState
 	rel *bindings.Relation
+	tr  *obs.Instance
+}
+
+// metrics are the engine's observability instruments; all nil-safe, so an
+// uninstrumented engine pays only nil receiver checks on the hot path.
+type metrics struct {
+	instances   *obs.CounterVec   // engine_instances{state=created|completed|died}
+	rules       *obs.Gauge        // engine_rules
+	detections  *obs.Counter      // engine_detections_total
+	actionRuns  *obs.Counter      // engine_action_runs_total
+	instanceSec *obs.Histogram    // engine_instance_seconds
+	stepSec     *obs.HistogramVec // engine_step_seconds{kind}
+}
+
+func newMetrics(h *obs.Hub) metrics {
+	r := h.Metrics()
+	return metrics{
+		instances:   r.CounterVec("engine_instances", "Rule instances by life-cycle state (created, completed, died).", "state"),
+		rules:       r.Gauge("engine_rules", "Currently registered rules."),
+		detections:  r.Counter("engine_detections_total", "Event detection messages received."),
+		actionRuns:  r.Counter("engine_action_runs_total", "Action component dispatches."),
+		instanceSec: r.Histogram("engine_instance_seconds", "End-to-end rule-instance evaluation latency (detection to last action).", nil),
+		stepSec:     r.HistogramVec("engine_step_seconds", "Per-component evaluation latency by component kind.", nil, "kind"),
+	}
 }
 
 // RuleState is the engine's bookkeeping for one registered rule.
@@ -85,6 +114,10 @@ func WithReplyTo(url string) Option { return func(e *Engine) { e.replyTo = url }
 // WithLogger installs an evaluation trace logger.
 func WithLogger(l Logger) Option { return func(e *Engine) { e.log = l } }
 
+// WithObs installs the observability hub: engine counters and histograms
+// go to its metrics registry, rule-instance spans to its trace recorder.
+func WithObs(h *obs.Hub) Option { return func(e *Engine) { e.hub = h } }
+
 // WithWorkers evaluates rule instances asynchronously on n worker
 // goroutines instead of on the detection-delivering goroutine. Useful when
 // component services are remote: instances then overlap their HTTP round
@@ -98,7 +131,7 @@ func WithWorkers(n int) Option {
 		for i := 0; i < n; i++ {
 			go func() {
 				for j := range e.jobs {
-					e.runInstance(j.rs, j.rel)
+					e.runInstance(j.rs, j.rel, j.tr)
 					e.inFlight.Done()
 				}
 			}()
@@ -112,6 +145,8 @@ func New(g *grh.GRH, opts ...Option) *Engine {
 	for _, o := range opts {
 		o(e)
 	}
+	e.met = newMetrics(e.hub)
+	e.tr = e.hub.Traces()
 	return e
 }
 
@@ -170,6 +205,7 @@ func (e *Engine) Register(rule *ruleml.Rule) error {
 	}
 	e.rules[rule.ID] = &RuleState{Rule: rule}
 	e.stats.RulesRegistered++
+	e.met.rules.Set(float64(len(e.rules)))
 	e.mu.Unlock()
 
 	e.logf("register rule %s: submitting event component %s (language %s) to GRH",
@@ -184,6 +220,7 @@ func (e *Engine) Register(rule *ruleml.Rule) error {
 		e.mu.Lock()
 		delete(e.rules, rule.ID)
 		e.stats.RulesRegistered--
+		e.met.rules.Set(float64(len(e.rules)))
 		e.mu.Unlock()
 		return fmt.Errorf("engine: registering event component of %s: %w", rule.ID, err)
 	}
@@ -196,6 +233,7 @@ func (e *Engine) Unregister(id string) error {
 	rs, ok := e.rules[id]
 	if ok {
 		delete(e.rules, id)
+		e.met.rules.Set(float64(len(e.rules)))
 	}
 	e.mu.Unlock()
 	if !ok {
@@ -214,6 +252,7 @@ func (e *Engine) Unregister(id string) error {
 // handler target in distributed deployments. One rule instance is created
 // per answer tuple; instances are evaluated synchronously.
 func (e *Engine) OnDetection(a *protocol.Answer) {
+	e.met.detections.Inc()
 	e.mu.Lock()
 	rs, ok := e.rules[a.RuleID]
 	e.mu.Unlock()
@@ -230,63 +269,112 @@ func (e *Engine) OnDetection(a *protocol.Answer) {
 		e.mu.Lock()
 		e.stats.InstancesCreated++
 		e.mu.Unlock()
+		e.met.instances.With("created").Inc()
+		tr := e.tr.Begin(a.RuleID)
+		tr.AddSpan(obs.Span{
+			Stage:     string(ruleml.EventComponent),
+			Component: a.Component,
+			Language:  rs.Rule.Event.Language,
+			Mode:      "detection",
+			TuplesOut: 1,
+			Start:     time.Now(),
+		})
 		e.logf("rule %s: event %s detected, instance created with %s",
 			a.RuleID, a.Component, tuple)
 		rel := bindings.NewRelation(tuple)
 		if e.jobs != nil {
 			e.inFlight.Add(1)
-			e.jobs <- instanceJob{rs, rel}
+			e.jobs <- instanceJob{rs, rel, tr}
 			continue
 		}
-		e.runInstance(rs, rel)
+		e.runInstance(rs, rel, tr)
 	}
 }
 
 // runInstance drives one rule instance through its steps and actions.
-func (e *Engine) runInstance(rs *RuleState, rel *bindings.Relation) {
+func (e *Engine) runInstance(rs *RuleState, rel *bindings.Relation, tr *obs.Instance) {
 	rule := rs.Rule
+	start := time.Now()
 	for _, step := range rule.Steps {
-		var err error
-		rel, err = e.evalStep(rule, step, rel)
+		sp := obs.Span{
+			Stage:     string(step.Kind),
+			Component: step.ID,
+			Language:  step.Language,
+			Mode:      "grh",
+			TuplesIn:  rel.Size(),
+			Start:     time.Now(),
+		}
+		if step.Kind == ruleml.TestComponent && e.isLocalTest(step) {
+			sp.Mode = "local"
+		}
+		next, err := e.evalStep(rule, step, rel)
+		sp.Duration = time.Since(sp.Start)
+		e.met.stepSec.With(string(step.Kind)).Observe(sp.Duration.Seconds())
 		if err != nil {
+			sp.Err = err.Error()
+			tr.AddSpan(sp)
 			e.logf("rule %s: %s failed: %v — instance aborted", rule.ID, step.ID, err)
-			e.died(rs)
+			e.died(rs, tr, start)
 			return
 		}
+		rel = next
+		sp.TuplesOut = rel.Size()
+		tr.AddSpan(sp)
 		e.logf("rule %s: after %s: %d tuple(s)", rule.ID, step.ID, rel.Size())
 		if rel.Empty() {
 			e.logf("rule %s: relation empty after %s — instance eliminated", rule.ID, step.ID)
-			e.died(rs)
+			e.died(rs, tr, start)
 			return
 		}
 	}
 	for _, action := range rule.Actions {
+		sp := obs.Span{
+			Stage:     string(ruleml.ActionComponent),
+			Component: action.ID,
+			Language:  action.Language,
+			Mode:      "grh",
+			TuplesIn:  rel.Size(),
+			Start:     time.Now(),
+		}
 		_, err := e.grh.Dispatch(protocol.Action, grh.Component{
 			Rule:     rule.ID,
 			Comp:     action,
 			Bindings: rel,
 		})
+		sp.Duration = time.Since(sp.Start)
+		e.met.stepSec.With(string(ruleml.ActionComponent)).Observe(sp.Duration.Seconds())
+		e.met.actionRuns.Inc()
 		e.mu.Lock()
 		e.stats.ActionRuns++
 		e.mu.Unlock()
 		if err != nil {
+			sp.Err = err.Error()
+			tr.AddSpan(sp)
 			e.logf("rule %s: action %s failed: %v", rule.ID, action.ID, err)
-			e.died(rs)
+			e.died(rs, tr, start)
 			return
 		}
+		sp.TuplesOut = rel.Size()
+		tr.AddSpan(sp)
 		e.logf("rule %s: action %s executed for %d tuple(s)", rule.ID, action.ID, rel.Size())
 	}
 	e.mu.Lock()
 	rs.Firings++
 	e.stats.InstancesCompleted++
 	e.mu.Unlock()
+	e.met.instances.With("completed").Inc()
+	e.met.instanceSec.Observe(time.Since(start).Seconds())
+	tr.Finish("completed")
 }
 
-func (e *Engine) died(rs *RuleState) {
+func (e *Engine) died(rs *RuleState, tr *obs.Instance, start time.Time) {
 	e.mu.Lock()
 	rs.Died++
 	e.stats.InstancesDied++
 	e.mu.Unlock()
+	e.met.instances.With("died").Inc()
+	e.met.instanceSec.Observe(time.Since(start).Seconds())
+	tr.Finish("died")
 }
 
 // evalStep evaluates one query or test component against the instance

@@ -14,19 +14,28 @@
 package grh
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/bindings"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/ruleml"
 	"repro/internal/xmltree"
 )
+
+// DefaultTimeout bounds every HTTP call to a remote component service
+// unless overridden with WithTimeout or SetClient.
+const DefaultTimeout = 10 * time.Second
 
 // Service is the in-process interface of a framework-aware component
 // language service. Event services deliver detections asynchronously
@@ -71,16 +80,64 @@ type GRH struct {
 	byLang   map[string]*Descriptor
 	defaults map[ruleml.ComponentKind]string // kind → language URI fallback
 	client   *http.Client
+	timeout  time.Duration
 	trace    TraceFunc
+	met      metrics
 }
 
-// New returns an empty GRH using http.DefaultClient for remote calls.
-func New() *GRH {
-	return &GRH{
+// metrics are the GRH's observability instruments; all nil-safe, so an
+// uninstrumented GRH pays only nil receiver checks.
+type metrics struct {
+	requests *obs.CounterVec   // grh_requests_total{kind}
+	dispatch *obs.HistogramVec // grh_dispatch_seconds{language,mode}
+	errors   *obs.CounterVec   // grh_errors_total{reason}
+	services *obs.CounterVec   // service_requests_total{kind} (in-process boundary)
+}
+
+func newMetrics(h *obs.Hub) metrics {
+	r := h.Metrics()
+	return metrics{
+		requests: r.CounterVec("grh_requests_total", "Component requests dispatched by the Generic Request Handler, by request kind.", "kind"),
+		dispatch: r.HistogramVec("grh_dispatch_seconds", "GRH dispatch latency by component language and mediation mode (local, aware, opaque).", nil, "language", "mode"),
+		errors:   r.CounterVec("grh_errors_total", "GRH dispatch failures by reason (resolve, service, timeout, transport, http-status, decode, config).", "reason"),
+		services: r.CounterVec("service_requests_total", "Requests handled by component language services, by request kind.", "kind"),
+	}
+}
+
+// Option configures a GRH at construction time.
+type Option func(*GRH)
+
+// WithTimeout bounds HTTP calls to remote services (applies to the GRH's
+// own client; ignored after SetClient). d ≤ 0 keeps DefaultTimeout.
+func WithTimeout(d time.Duration) Option {
+	return func(g *GRH) {
+		if d > 0 {
+			g.timeout = d
+		}
+	}
+}
+
+// WithClient replaces the HTTP client used for remote services.
+func WithClient(c *http.Client) Option { return func(g *GRH) { g.client = c } }
+
+// WithObs installs the observability hub the GRH reports metrics to.
+func WithObs(h *obs.Hub) Option { return func(g *GRH) { g.met = newMetrics(h) } }
+
+// New returns an empty GRH. Remote calls use a dedicated HTTP client with
+// DefaultTimeout (never http.DefaultClient, which has none).
+func New(opts ...Option) *GRH {
+	g := &GRH{
 		byLang:   map[string]*Descriptor{},
 		defaults: map[ruleml.ComponentKind]string{},
-		client:   http.DefaultClient,
+		timeout:  DefaultTimeout,
 	}
+	for _, o := range opts {
+		o(g)
+	}
+	if g.client == nil {
+		g.client = &http.Client{Timeout: g.timeout}
+	}
+	return g
 }
 
 // SetClient replaces the HTTP client used for remote services.
@@ -183,6 +240,12 @@ type Component struct {
 // Event registrations return an empty answer; detections arrive through the
 // event service's sink (in-process) or the ReplyTo callback (remote).
 func (g *GRH) Dispatch(kind protocol.RequestKind, c Component) (*protocol.Answer, error) {
+	g.met.requests.With(string(kind)).Inc()
+	start := time.Now()
+	mode := "aware"
+	defer func() {
+		g.met.dispatch.With(langLabel(c.Comp.Language), mode).Observe(obs.Since(start))
+	}()
 	req := &protocol.Request{
 		Kind:      kind,
 		RuleID:    c.Rule,
@@ -195,6 +258,7 @@ func (g *GRH) Dispatch(kind protocol.RequestKind, c Component) (*protocol.Answer
 		// Directly addressed framework-unaware service (uri attribute)?
 		if c.Comp.Service != "" {
 			if d, ok := g.Lookup(c.Comp.Language); !ok || !d.FrameworkAware {
+				mode = "opaque"
 				return g.opaqueMediate(c)
 			}
 		}
@@ -212,26 +276,63 @@ func (g *GRH) Dispatch(kind protocol.RequestKind, c Component) (*protocol.Answer
 		if c.Comp.Opaque && c.Comp.Service != "" {
 			// No registered processor: fall back to opaque mediation
 			// against the pinned endpoint.
+			mode = "opaque"
 			return g.opaqueMediate(c)
 		}
+		g.met.errors.With("resolve").Inc()
 		return nil, err
 	}
 	if !d.FrameworkAware {
+		mode = "opaque"
 		return g.opaqueMediateVia(c, d.Endpoint)
 	}
 	if !kindAllowed(d, c.Comp.Kind) {
+		g.met.errors.With("resolve").Inc()
 		return nil, fmt.Errorf("grh: processor %q does not accept %s components", d.Language, c.Comp.Kind)
 	}
 	if d.Local != nil {
+		mode = "local"
+		g.met.services.With(string(kind)).Inc()
 		g.emitTrace("→", d.name(), protocol.EncodeRequest(req))
 		a, err := d.Local.Handle(req)
 		if err != nil {
+			g.met.errors.With("service").Inc()
 			return nil, fmt.Errorf("grh: %s: %w", d.name(), err)
 		}
 		g.emitTrace("←", d.name(), protocol.EncodeAnswers(a))
 		return a, nil
 	}
 	return g.httpDispatch(d, req)
+}
+
+// langLabel collapses the empty language (bare domain-level components
+// handled by a kind default) into a stable metric label.
+func langLabel(language string) string {
+	if language == "" {
+		return "domain"
+	}
+	return language
+}
+
+// countHTTPErr classifies a transport-level error for grh_errors_total,
+// separating timeouts (the signal a scaling deployment alerts on) from
+// other transport failures.
+func (g *GRH) countHTTPErr(err error) {
+	if isTimeout(err) {
+		g.met.errors.With("timeout").Inc()
+		return
+	}
+	g.met.errors.With("transport").Inc()
+}
+
+// isTimeout reports whether err is a client/deadline timeout anywhere in
+// its chain.
+func isTimeout(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, context.DeadlineExceeded)
 }
 
 func (d *Descriptor) name() string {
@@ -260,22 +361,27 @@ func (g *GRH) httpDispatch(d *Descriptor, req *protocol.Request) (*protocol.Answ
 	g.emitTrace("→", d.name(), payload)
 	resp, err := g.client.Post(d.Endpoint, "application/xml", strings.NewReader(payload.String()))
 	if err != nil {
+		g.countHTTPErr(err)
 		return nil, fmt.Errorf("grh: POST %s: %w", d.Endpoint, err)
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
+		g.countHTTPErr(err)
 		return nil, fmt.Errorf("grh: read %s: %w", d.Endpoint, err)
 	}
 	if resp.StatusCode != http.StatusOK {
+		g.met.errors.With("http-status").Inc()
 		return nil, fmt.Errorf("grh: %s: HTTP %d: %s", d.Endpoint, resp.StatusCode, truncate(string(body), 300))
 	}
 	doc, err := xmltree.ParseString(string(body))
 	if err != nil {
+		g.met.errors.With("decode").Inc()
 		return nil, fmt.Errorf("grh: %s: bad answer: %w", d.Endpoint, err)
 	}
 	a, err := protocol.DecodeAnswers(doc)
 	if err != nil {
+		g.met.errors.With("decode").Inc()
 		return nil, fmt.Errorf("grh: %s: %w", d.Endpoint, err)
 	}
 	g.emitTrace("←", d.name(), doc)
@@ -292,9 +398,11 @@ func (g *GRH) opaqueMediate(c Component) (*protocol.Answer, error) {
 // string, raw results re-wrapped as functional results.
 func (g *GRH) opaqueMediateVia(c Component, endpoint string) (*protocol.Answer, error) {
 	if endpoint == "" {
+		g.met.errors.With("config").Inc()
 		return nil, fmt.Errorf("grh: opaque component %s has no service endpoint", c.Comp.ID)
 	}
 	if c.Comp.Kind == ruleml.EventComponent {
+		g.met.errors.With("config").Inc()
 		return nil, fmt.Errorf("grh: event components cannot use framework-unaware services")
 	}
 	a := &protocol.Answer{RuleID: c.Rule, Component: c.Comp.ID}
@@ -313,18 +421,22 @@ func (g *GRH) opaqueMediateVia(c Component, endpoint string) (*protocol.Answer, 
 		g.emitTrace("→", endpoint, traceGet(u, q))
 		resp, err := g.client.Get(u)
 		if err != nil {
+			g.countHTTPErr(err)
 			return nil, fmt.Errorf("grh: GET %s: %w", endpoint, err)
 		}
 		body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 		resp.Body.Close()
 		if err != nil {
+			g.countHTTPErr(err)
 			return nil, fmt.Errorf("grh: read %s: %w", endpoint, err)
 		}
 		if resp.StatusCode != http.StatusOK {
+			g.met.errors.With("http-status").Inc()
 			return nil, fmt.Errorf("grh: %s: HTTP %d: %s", endpoint, resp.StatusCode, truncate(string(body), 300))
 		}
 		rows, err := decodeOpaqueResults(t, string(body))
 		if err != nil {
+			g.met.errors.With("decode").Inc()
 			return nil, fmt.Errorf("grh: %s: %w", endpoint, err)
 		}
 		a.Rows = append(a.Rows, rows...)

@@ -1,0 +1,85 @@
+package grh
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/bindings"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/ruleml"
+	"repro/internal/xmltree"
+)
+
+func queryComponent(lang string) Component {
+	return Component{
+		Rule:     "r1",
+		Comp:     ruleml.Component{Kind: ruleml.QueryComponent, ID: "query[1]", Language: lang, Expression: xmltree.NewElement(lang, "q")},
+		Bindings: bindings.NewRelation(bindings.MustTuple("P", bindings.Str("John"))),
+	}
+}
+
+// TestDispatchTimeoutCounted points the GRH at a service that never answers
+// within the configured timeout: the dispatch must fail and the failure
+// must be classified as grh_errors_total{reason="timeout"}.
+func TestDispatchTimeoutCounted(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-block:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	// Unblock the stalled handler first so srv.Close does not wait on it
+	// (deferred calls run last-in first-out).
+	defer close(block)
+
+	hub := obs.NewHub()
+	g := New(WithObs(hub), WithTimeout(50*time.Millisecond))
+	g.Register(Descriptor{Language: "http://slow/", FrameworkAware: true, Endpoint: srv.URL})
+
+	start := time.Now()
+	_, err := g.Dispatch(protocol.Query, queryComponent("http://slow/"))
+	if err == nil {
+		t.Fatal("dispatch against a stalled service should fail")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dispatch took %v — timeout not applied", elapsed)
+	}
+
+	reg := hub.Metrics()
+	if v := reg.CounterVec("grh_errors_total", "", "reason").With("timeout").Value(); v != 1 {
+		t.Errorf("grh_errors_total{timeout} = %d, want 1", v)
+	}
+	if v := reg.CounterVec("grh_requests_total", "", "kind").With("query").Value(); v != 1 {
+		t.Errorf("grh_requests_total{query} = %d, want 1", v)
+	}
+	// The latency histogram records failed dispatches too.
+	h := reg.HistogramVec("grh_dispatch_seconds", "", nil, "language", "mode").With("http://slow/", "aware")
+	if h.Count() != 1 {
+		t.Errorf("grh_dispatch_seconds count = %d, want 1", h.Count())
+	}
+}
+
+// TestDefaultClientIsBounded ensures the GRH never falls back to
+// http.DefaultClient: a zero-option GRH gets its own client carrying
+// DefaultTimeout.
+func TestDefaultClientIsBounded(t *testing.T) {
+	g := New()
+	if g.client == http.DefaultClient {
+		t.Fatal("GRH uses http.DefaultClient")
+	}
+	if g.client.Timeout != DefaultTimeout {
+		t.Errorf("client timeout = %v, want %v", g.client.Timeout, DefaultTimeout)
+	}
+	if g := New(WithTimeout(3 * time.Second)); g.client.Timeout != 3*time.Second {
+		t.Errorf("WithTimeout client timeout = %v", g.client.Timeout)
+	}
+	// A non-positive timeout keeps the default rather than unbounding it.
+	if g := New(WithTimeout(0)); g.client.Timeout != DefaultTimeout {
+		t.Errorf("WithTimeout(0) client timeout = %v", g.client.Timeout)
+	}
+}

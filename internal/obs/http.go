@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// MetricsHandler serves the registry in Prometheus text exposition format
+// (the /metrics endpoint).
+func (h *Hub) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		h.Metrics().WritePrometheus(w)
+	})
+}
+
+// tracesResponse is the JSON shape of the /debug/traces endpoint.
+type tracesResponse struct {
+	Capacity  int             `json:"capacity"`
+	Recorded  uint64          `json:"recorded"`
+	Instances []InstanceTrace `json:"instances"`
+}
+
+// TracesHandler dumps the retained rule-instance traces as JSON (the
+// /debug/traces endpoint). Supports ?rule=<id> to filter by rule and
+// ?state=<running|completed|died> to filter by life-cycle state.
+func (h *Hub) TracesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rule := r.URL.Query().Get("rule")
+		state := r.URL.Query().Get("state")
+		all := h.Traces().Snapshot()
+		kept := make([]InstanceTrace, 0, len(all))
+		for _, t := range all {
+			if rule != "" && t.Rule != rule {
+				continue
+			}
+			if state != "" && t.State != state {
+				continue
+			}
+			kept = append(kept, t)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(tracesResponse{
+			Capacity:  h.Traces().Capacity(),
+			Recorded:  h.Traces().Recorded(),
+			Instances: kept,
+		})
+	})
+}

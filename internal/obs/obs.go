@@ -1,0 +1,66 @@
+// Package obs is the observability subsystem: a stdlib-only metrics
+// registry (atomic counters, gauges and fixed-bucket latency histograms
+// with labeled families, exposed in Prometheus text format) plus a
+// rule-instance trace recorder (per-instance spans following one detection
+// through engine → GRH → component service, kept in a bounded ring buffer
+// and dumped as JSON).
+//
+// Every instrument is nil-safe: a nil *Hub yields nil vecs, nil counters
+// and a nil recorder, and every method on them is a no-op. Instrumented
+// packages therefore resolve their instruments once at construction time
+// and use them unconditionally on the hot path — no branching on "is
+// observability enabled" beyond a nil receiver check.
+package obs
+
+import "time"
+
+// DefaultTraceCapacity is the ring-buffer size of a Hub's trace recorder.
+const DefaultTraceCapacity = 512
+
+// LatencyBuckets are the default histogram bounds for request/dispatch
+// durations in seconds, spanning in-process calls (~µs) to slow remote
+// services (~10 s).
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Hub bundles the two halves of the subsystem: a metrics registry and a
+// trace recorder. One hub is shared by the engine, the GRH and every
+// component service of a deployment.
+type Hub struct {
+	metrics *Registry
+	traces  *Recorder
+}
+
+// NewHub returns a hub with an empty registry and a recorder holding the
+// last DefaultTraceCapacity rule instances.
+func NewHub() *Hub {
+	return &Hub{metrics: NewRegistry(), traces: NewRecorder(DefaultTraceCapacity)}
+}
+
+// Metrics returns the hub's registry; nil for a nil hub.
+func (h *Hub) Metrics() *Registry {
+	if h == nil {
+		return nil
+	}
+	return h.metrics
+}
+
+// Traces returns the hub's trace recorder; nil for a nil hub.
+func (h *Hub) Traces() *Recorder {
+	if h == nil {
+		return nil
+	}
+	return h.traces
+}
+
+// Since returns the elapsed time since start in seconds, the unit every
+// duration histogram observes.
+func Since(start time.Time) float64 {
+	return time.Since(start).Seconds()
+}

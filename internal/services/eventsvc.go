@@ -8,6 +8,7 @@ import (
 	"repro/internal/bindings"
 	"repro/internal/events"
 	"repro/internal/grh"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/snoop"
 )
@@ -87,6 +88,7 @@ type SnoopService struct {
 	dets    map[string]*snoop.Detector
 	lastSeq uint64
 	cancel  func()
+	hub     *obs.Hub
 }
 
 // NewSnoopService creates the service and subscribes it to the stream.
@@ -94,6 +96,14 @@ func NewSnoopService(stream *events.Stream, deliver *Deliverer) *SnoopService {
 	s := &SnoopService{deliver: deliver, dets: map[string]*snoop.Detector{}}
 	s.cancel = stream.Subscribe(s.onEvent)
 	return s
+}
+
+// SetObs instruments every detector registered from now on with the hub's
+// snoop counters.
+func (s *SnoopService) SetObs(h *obs.Hub) {
+	s.mu.Lock()
+	s.hub = h
+	s.mu.Unlock()
 }
 
 // Close unsubscribes the service from its stream.
@@ -187,6 +197,9 @@ func (s *SnoopService) Handle(req *protocol.Request) (*protocol.Answer, error) {
 			return nil, err
 		}
 		s.mu.Lock()
+		if s.hub != nil {
+			det.SetObs(s.hub)
+		}
 		s.dets[key] = det
 		s.mu.Unlock()
 		return &protocol.Answer{RuleID: req.RuleID, Component: req.Component}, nil

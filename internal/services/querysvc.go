@@ -9,6 +9,7 @@ import (
 	"repro/internal/bindings"
 	"repro/internal/datalog"
 	"repro/internal/grh"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
@@ -257,6 +258,7 @@ func EvalTest(cond string, rel *bindings.Relation) (*bindings.Relation, error) {
 type OpaqueXMLStore struct {
 	doc        *xmltree.Node
 	namespaces map[string]string
+	requests   *obs.Counter
 }
 
 // NewOpaqueXMLStore serves queries against one document.
@@ -264,8 +266,16 @@ func NewOpaqueXMLStore(doc *xmltree.Node, namespaces map[string]string) *OpaqueX
 	return &OpaqueXMLStore{doc: doc, namespaces: namespaces}
 }
 
+// SetObs counts this node's raw GETs into service_requests_total
+// {kind="opaque-store"} on the hub; returns the receiver for chaining.
+func (s *OpaqueXMLStore) SetObs(h *obs.Hub) *OpaqueXMLStore {
+	s.requests = opaqueRequestCounter(h, "opaque-store")
+	return s
+}
+
 // ServeHTTP implements the raw query protocol.
 func (s *OpaqueXMLStore) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
 	q := r.URL.Query().Get("query")
 	if q == "" {
 		http.Error(w, "missing query parameter", http.StatusBadRequest)
@@ -307,6 +317,7 @@ func (s *OpaqueXMLStore) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 type OpaqueXQueryNode struct {
 	store      *DocStore
 	namespaces map[string]string
+	requests   *obs.Counter
 }
 
 // NewOpaqueXQueryNode serves raw XQuery-lite over a document store.
@@ -314,8 +325,22 @@ func NewOpaqueXQueryNode(store *DocStore, namespaces map[string]string) *OpaqueX
 	return &OpaqueXQueryNode{store: store, namespaces: namespaces}
 }
 
+// SetObs counts this node's raw GETs into service_requests_total
+// {kind="opaque-xquery"} on the hub; returns the receiver for chaining.
+func (s *OpaqueXQueryNode) SetObs(h *obs.Hub) *OpaqueXQueryNode {
+	s.requests = opaqueRequestCounter(h, "opaque-xquery")
+	return s
+}
+
+// opaqueRequestCounter resolves the shared service_requests_total family
+// for a framework-unaware node.
+func opaqueRequestCounter(h *obs.Hub, kind string) *obs.Counter {
+	return h.Metrics().CounterVec("service_requests_total", "Requests handled by component language services, by request kind.", "kind").With(kind)
+}
+
 // ServeHTTP implements the raw query protocol.
 func (s *OpaqueXQueryNode) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
 	qs := r.URL.Query().Get("query")
 	if qs == "" {
 		http.Error(w, "missing query parameter", http.StatusBadRequest)

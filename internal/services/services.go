@@ -18,8 +18,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/grh"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/xmltree"
 )
@@ -110,7 +112,17 @@ func (s *DocStore) Update(uri string, f func(doc *xmltree.Node) error) error {
 
 // Handler wraps a framework-aware service core as an http.Handler speaking
 // the wire protocol: POST eca:request, 200 log:answers.
-func Handler(svc grh.Service) http.Handler {
+func Handler(svc grh.Service) http.Handler { return InstrumentedHandler(svc, nil) }
+
+// InstrumentedHandler is Handler plus observability: every decoded
+// request counts into service_requests_total{kind} (and failures into
+// service_errors_total{kind}) on the given hub. A nil hub disables
+// instrumentation.
+func InstrumentedHandler(svc grh.Service, hub *obs.Hub) http.Handler {
+	reg := hub.Metrics()
+	requests := reg.CounterVec("service_requests_total", "Requests handled by component language services, by request kind.", "kind")
+	errors := reg.CounterVec("service_errors_total", "Requests a component language service failed to handle, by request kind.", "kind")
+	seconds := reg.HistogramVec("service_request_seconds", "Component service request handling latency by request kind.", nil, "kind")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST an eca:request document", http.StatusMethodNotAllowed)
@@ -126,8 +138,13 @@ func Handler(svc grh.Service) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		kind := string(req.Kind)
+		requests.With(kind).Inc()
+		start := time.Now()
 		a, err := svc.Handle(req)
+		seconds.With(kind).Observe(obs.Since(start))
 		if err != nil {
+			errors.With(kind).Inc()
 			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 			return
 		}
@@ -136,18 +153,41 @@ func Handler(svc grh.Service) http.Handler {
 	})
 }
 
+// deliverClient is the fallback HTTP client for remote detection
+// deliveries: like the GRH's, it is bounded (never http.DefaultClient,
+// which has no timeout).
+var deliverClient = &http.Client{Timeout: grh.DefaultTimeout}
+
 // Deliverer posts asynchronous detection answers either to a local sink or
 // to a remote ReplyTo URL, depending on how the event component was
 // registered.
 type Deliverer struct {
 	// Local receives answers for registrations without a ReplyTo.
 	Local func(*protocol.Answer)
-	// Client is used for remote deliveries; http.DefaultClient when nil.
+	// Client is used for remote deliveries; a shared client with
+	// grh.DefaultTimeout when nil.
 	Client *http.Client
+	// Obs receives delivery counters (service_detections_total); nil
+	// disables instrumentation.
+	Obs *obs.Hub
+
+	once          sync.Once
+	localDetected *obs.Counter
+	httpDetected  *obs.Counter
 }
 
 // Deliver routes one detection answer.
 func (d *Deliverer) Deliver(a *protocol.Answer, replyTo string) error {
+	d.once.Do(func() {
+		vec := d.Obs.Metrics().CounterVec("service_detections_total", "Detection answers delivered by event services, by transport.", "transport")
+		d.localDetected = vec.With("local")
+		d.httpDetected = vec.With("http")
+	})
+	if replyTo == "" {
+		d.localDetected.Inc()
+	} else {
+		d.httpDetected.Inc()
+	}
 	if replyTo == "" {
 		if d.Local == nil {
 			return fmt.Errorf("services: no local detection sink configured")
@@ -157,7 +197,7 @@ func (d *Deliverer) Deliver(a *protocol.Answer, replyTo string) error {
 	}
 	client := d.Client
 	if client == nil {
-		client = http.DefaultClient
+		client = deliverClient
 	}
 	body := protocol.EncodeAnswers(a).String()
 	resp, err := client.Post(replyTo, "application/xml", strings.NewReader(body))

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/bindings"
 	"repro/internal/events"
+	"repro/internal/obs"
 )
 
 // ParamContext selects the SNOOP parameter context, which determines how
@@ -249,6 +250,8 @@ type Detector struct {
 	leaves    []*atomicNode
 	clock     time.Time
 	periodics []*periodicNode
+	fed       *obs.Counter // snoop_events_total
+	fired     *obs.Counter // snoop_occurrences_total
 }
 
 // NewDetector compiles the expression into a detector graph.
@@ -260,14 +263,25 @@ func NewDetector(e Expr, ctx ParamContext, sink func(Occurrence)) (*Detector, er
 	d.root = e.node(d)
 	d.root.setParent(func(occs []Occurrence) {
 		for _, o := range occs {
+			d.fired.Inc()
 			d.sink(o)
 		}
 	})
 	return d, nil
 }
 
+// SetObs counts fed events (snoop_events_total) and detected composite
+// occurrences (snoop_occurrences_total) on the hub's registry. Counters
+// are shared by every detector instrumented with the same hub.
+func (d *Detector) SetObs(h *obs.Hub) {
+	r := h.Metrics()
+	d.fed = r.Counter("snoop_events_total", "Primitive events fed to SNOOP detectors.")
+	d.fired = r.Counter("snoop_occurrences_total", "Composite event occurrences detected by SNOOP detectors.")
+}
+
 // Feed processes one primitive event occurrence.
 func (d *Detector) Feed(ev events.Event) {
+	d.fed.Inc()
 	if ev.Time.After(d.clock) {
 		d.clock = ev.Time
 	}

@@ -1,0 +1,203 @@
+package system
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/ruleml"
+	"repro/internal/services"
+	"repro/internal/xmltree"
+)
+
+// chainRuleXML is a five-component rule exercising every stage kind:
+// event → query → query → test → action. The first query maps the event's
+// key to a name, the second maps the name to a grade, the test keeps only
+// passing grades.
+const chainRuleXML = `<eca:rule xmlns:eca="` + protocol.ECANS + `"
+    xmlns:t="` + tNS + `"
+    xmlns:xq="` + services.XQueryNS + `" id="chain">
+  <eca:event><t:ping k="$K"/></eca:event>
+  <eca:variable name="Name">
+    <eca:query>
+      <xq:query>for $i in doc('people')//person[@k=$K] return $i/name/text()</xq:query>
+    </eca:query>
+  </eca:variable>
+  <eca:variable name="Grade">
+    <eca:query>
+      <xq:query>for $g in doc('grades')//grade[@name=$Name] return $g/value/text()</xq:query>
+    </eca:query>
+  </eca:variable>
+  <eca:test>$Grade &gt; 3</eca:test>
+  <eca:action><t:pong name="$Name" grade="$Grade"/></eca:action>
+</eca:rule>`
+
+func newChainSystem(t *testing.T, hub *obs.Hub) *System {
+	t.Helper()
+	sys, err := NewLocal(Config{Obs: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Store.Put("people", xmltree.MustParse(`<people>
+	  <person k="7"><name>Ada</name></person>
+	  <person k="7"><name>Bob</name></person>
+	</people>`))
+	sys.Store.Put("grades", xmltree.MustParse(`<grades>
+	  <grade name="Ada"><value>5</value></grade>
+	  <grade name="Bob"><value>2</value></grade>
+	</grades>`))
+	rule, err := ruleml.ParseString(chainRuleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Engine.Register(rule); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func ping(sys *System, k string) {
+	payload := xmltree.NewElement(tNS, "ping")
+	payload.SetAttr("", "k", k)
+	sys.Stream.Publish(events.New(payload))
+}
+
+// TestChainRuleSpanSequence asserts the canonical span sequence of an
+// instrumented firing: Event → Query → Query → Test → Action.
+func TestChainRuleSpanSequence(t *testing.T) {
+	hub := obs.NewHub()
+	sys := newChainSystem(t, hub)
+
+	ping(sys, "7")
+	if got := len(sys.Notifier.Sent()); got != 1 {
+		t.Fatalf("notifications = %d, want 1 (only Ada passes the test)", got)
+	}
+
+	traces := hub.Traces().Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("instance traces = %d, want 1", len(traces))
+	}
+	tr := traces[0]
+	var stages []string
+	for _, s := range tr.Spans {
+		stages = append(stages, s.Stage)
+	}
+	if got := strings.Join(stages, "→"); got != "event→query→query→test→action" {
+		t.Fatalf("span sequence = %s", got)
+	}
+	// The test component runs in the engine, not through a service.
+	if tr.Spans[3].Mode != "local" {
+		t.Errorf("test span mode = %q, want local", tr.Spans[3].Mode)
+	}
+	// Two names join two grades; the test drops Bob's grade 2.
+	if in, out := tr.Spans[3].TuplesIn, tr.Spans[3].TuplesOut; in != 2 || out != 1 {
+		t.Errorf("test span tuples = %d→%d, want 2→1", in, out)
+	}
+	if tr.State != "completed" {
+		t.Errorf("trace state = %q", tr.State)
+	}
+}
+
+// TestObservabilityEndpoints drives the mux's /metrics, /debug/traces and
+// /healthz after a firing.
+func TestObservabilityEndpoints(t *testing.T) {
+	hub := obs.NewHub()
+	sys := newChainSystem(t, hub)
+	srv := httptest.NewServer(sys.Mux(nil, nil))
+	defer srv.Close()
+
+	ping(sys, "7")
+
+	get := func(path string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	code, body, hdr := get("/metrics")
+	if code != 200 || !strings.HasPrefix(hdr.Get("Content-Type"), "text/plain") {
+		t.Fatalf("/metrics = %d %q", code, hdr.Get("Content-Type"))
+	}
+	for _, want := range []string{
+		`engine_instances{state="created"} 1`,
+		`engine_instances{state="completed"} 1`,
+		"# TYPE grh_dispatch_seconds histogram",
+		`grh_dispatch_seconds_bucket{language="` + services.XQueryNS + `",mode="local",le="+Inf"} 2`,
+		`service_requests_total{kind="query"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body, _ = get("/debug/traces")
+	if code != 200 {
+		t.Fatalf("/debug/traces = %d", code)
+	}
+	var tracesResp struct {
+		Recorded  uint64              `json:"recorded"`
+		Instances []obs.InstanceTrace `json:"instances"`
+	}
+	if err := json.Unmarshal([]byte(body), &tracesResp); err != nil {
+		t.Fatalf("/debug/traces JSON: %v\n%s", err, body)
+	}
+	if tracesResp.Recorded != 1 || len(tracesResp.Instances) != 1 || len(tracesResp.Instances[0].Spans) != 5 {
+		t.Errorf("/debug/traces = %+v", tracesResp)
+	}
+	// Filtering by another rule yields an empty set.
+	code, body, _ = get("/debug/traces?rule=no-such-rule")
+	if code != 200 || strings.Contains(body, `"rule": "chain"`) {
+		t.Errorf("filtered traces = %d %s", code, body)
+	}
+
+	code, body, hdr = get("/healthz")
+	if code != 200 || hdr.Get("Content-Type") != "application/json" {
+		t.Fatalf("/healthz = %d %q", code, hdr.Get("Content-Type"))
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz JSON: %v\n%s", err, body)
+	}
+	if h.Status != "ok" || h.Rules != 1 || h.Languages == 0 || h.InstancesCompleted != 1 || h.Notifications != 1 {
+		t.Errorf("/healthz = %+v", h)
+	}
+}
+
+// TestMuxWithoutObsOmitsMetrics checks that an uninstrumented system keeps
+// working and simply does not mount the observability endpoints, while
+// /healthz stays available.
+func TestMuxWithoutObsOmitsMetrics(t *testing.T) {
+	sys, err := NewLocal(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(sys.Mux(nil, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/metrics without hub = %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz without hub = %d, want 200", resp.StatusCode)
+	}
+}

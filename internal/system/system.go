@@ -6,15 +6,18 @@
 package system
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/bindings"
 	"repro/internal/datalog"
 	"repro/internal/engine"
 	"repro/internal/events"
 	"repro/internal/grh"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/ruleml"
 	"repro/internal/services"
@@ -81,6 +84,12 @@ type Config struct {
 	Logger engine.Logger
 	// Trace receives GRH traffic.
 	Trace grh.TraceFunc
+	// Obs is the observability hub instrumenting the engine, GRH and
+	// services; nil runs the system uninstrumented.
+	Obs *obs.Hub
+	// HTTPTimeout bounds every outbound service request made by the GRH
+	// and the deliverer; grh.DefaultTimeout when zero.
+	HTTPTimeout time.Duration
 }
 
 // System is one wired deployment of the architecture.
@@ -90,12 +99,15 @@ type System struct {
 	GRH      *grh.GRH
 	Engine   *engine.Engine
 	Notifier *Notifier
+	Obs      *obs.Hub
 
 	Matcher *services.EventMatcher
 	Snoop   *services.SnoopService
 	XQuery  *services.XQueryService
 	Datalog *services.DatalogService
 	Actions *services.ActionExecutor
+
+	started time.Time
 }
 
 // NewLocal wires every service in-process, the deployment used by the
@@ -104,21 +116,24 @@ func NewLocal(cfg Config) (*System, error) {
 	s := &System{
 		Stream:   events.NewStream(),
 		Store:    services.NewDocStore(),
-		GRH:      grh.New(),
+		GRH:      grh.New(grh.WithObs(cfg.Obs), grh.WithTimeout(cfg.HTTPTimeout)),
 		Notifier: &Notifier{},
+		Obs:      cfg.Obs,
+		started:  time.Now(),
 	}
 	if cfg.Trace != nil {
 		s.GRH.SetTrace(cfg.Trace)
 	}
-	var engineOpts []engine.Option
+	engineOpts := []engine.Option{engine.WithObs(cfg.Obs)}
 	if cfg.Logger != nil {
 		engineOpts = append(engineOpts, engine.WithLogger(cfg.Logger))
 	}
 	s.Engine = engine.New(s.GRH, engineOpts...)
-	deliver := &services.Deliverer{Local: s.Engine.OnDetection}
+	deliver := &services.Deliverer{Local: s.Engine.OnDetection, Obs: cfg.Obs}
 
 	s.Matcher = services.NewEventMatcher(s.Stream, deliver)
 	s.Snoop = services.NewSnoopService(s.Stream, deliver)
+	s.Snoop.SetObs(cfg.Obs)
 	s.XQuery = services.NewXQueryService(s.Store, cfg.Namespaces)
 	s.Actions = services.NewActionExecutor(s.Store, s.Stream, s.Notifier.Send)
 
@@ -168,18 +183,21 @@ func NewLocal(cfg Config) (*System, error) {
 //	POST /engine/rules        eca:rule document → registers the rule
 //	POST /events              event payload → published on the stream
 //	GET  /engine/stats        plain-text counters
+//	GET  /healthz             liveness + rule/service counts as JSON
+//	GET  /metrics             Prometheus text exposition (when Obs is set)
+//	GET  /debug/traces        rule-instance span traces as JSON (when Obs is set)
 func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/services/matcher", services.Handler(s.Matcher))
-	mux.Handle("/services/snoop", services.Handler(s.Snoop))
-	mux.Handle("/services/xquery", services.Handler(s.XQuery))
-	mux.Handle("/services/datalog", services.Handler(s.Datalog))
-	mux.Handle("/services/test", services.Handler(services.TestEvaluator{}))
-	mux.Handle("/services/action", services.Handler(s.Actions))
+	mux.Handle("/services/matcher", services.InstrumentedHandler(s.Matcher, s.Obs))
+	mux.Handle("/services/snoop", services.InstrumentedHandler(s.Snoop, s.Obs))
+	mux.Handle("/services/xquery", services.InstrumentedHandler(s.XQuery, s.Obs))
+	mux.Handle("/services/datalog", services.InstrumentedHandler(s.Datalog, s.Obs))
+	mux.Handle("/services/test", services.InstrumentedHandler(services.TestEvaluator{}, s.Obs))
+	mux.Handle("/services/action", services.InstrumentedHandler(s.Actions, s.Obs))
 	if opaqueDoc != nil {
-		mux.Handle("/opaque/store", services.NewOpaqueXMLStore(opaqueDoc, namespaces))
+		mux.Handle("/opaque/store", services.NewOpaqueXMLStore(opaqueDoc, namespaces).SetObs(s.Obs))
 	}
-	mux.Handle("/opaque/xquery", services.NewOpaqueXQueryNode(s.Store, namespaces))
+	mux.Handle("/opaque/xquery", services.NewOpaqueXQueryNode(s.Store, namespaces).SetObs(s.Obs))
 	mux.HandleFunc("/engine/detect", func(w http.ResponseWriter, r *http.Request) {
 		doc, err := xmltree.Parse(r.Body)
 		if err != nil {
@@ -239,7 +257,42 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 		fmt.Fprintf(w, "rules %d\ninstances_created %d\ninstances_completed %d\ninstances_died %d\naction_runs %d\nnotifications %d\n",
 			st.RulesRegistered, st.InstancesCreated, st.InstancesCompleted, st.InstancesDied, st.ActionRuns, len(s.Notifier.Sent()))
 	})
+	mux.HandleFunc("/healthz", s.healthz)
+	if s.Obs != nil {
+		mux.Handle("/metrics", s.Obs.MetricsHandler())
+		mux.Handle("/debug/traces", s.Obs.TracesHandler())
+	}
 	return mux
+}
+
+// Health is the /healthz response body.
+type Health struct {
+	Status             string  `json:"status"`
+	UptimeSeconds      float64 `json:"uptime_seconds"`
+	Rules              int     `json:"rules"`
+	Languages          int     `json:"languages"`
+	InstancesCreated   int     `json:"instances_created"`
+	InstancesCompleted int     `json:"instances_completed"`
+	InstancesDied      int     `json:"instances_died"`
+	Notifications      int     `json:"notifications"`
+}
+
+func (s *System) healthz(w http.ResponseWriter, r *http.Request) {
+	st := s.Engine.Stats()
+	h := Health{
+		Status:             "ok",
+		UptimeSeconds:      time.Since(s.started).Seconds(),
+		Rules:              len(s.Engine.Rules()),
+		Languages:          len(s.GRH.Languages()),
+		InstancesCreated:   st.InstancesCreated,
+		InstancesCompleted: st.InstancesCompleted,
+		InstancesDied:      st.InstancesDied,
+		Notifications:      len(s.Notifier.Sent()),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(h)
 }
 
 // Distribute re-registers every component language in the GRH as a REMOTE

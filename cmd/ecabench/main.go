@@ -1,10 +1,11 @@
 // Command ecabench regenerates the paper's figures and produces the
 // performance series recorded in EXPERIMENTS.md:
 //
-//	ecabench -fig 8          # replay one figure's artifact / message flow
-//	ecabench -figs           # replay all figures (1–11)
-//	ecabench -series join    # run one performance series
-//	ecabench -all            # figures + every series
+//	ecabench -fig 8               # replay one figure's artifact / message flow
+//	ecabench -figs                # replay all figures (1–11)
+//	ecabench -series join         # run one performance series
+//	ecabench -series resilience   # dispatch against flaky/dead services: retry + breaker effect
+//	ecabench -all                 # figures + every series
 //
 // The exit status is non-zero when any figure replay fails its assertions
 // (e.g. the Fig. 11 join does not leave exactly one surviving tuple) or a

@@ -6,7 +6,13 @@
 // Usage:
 //
 //	ecad -addr :8080 [-rule file.xml]... [-doc uri=file.xml]... \
-//	     [-datalog rules.dl] [-travel] [-distribute] [-metrics] [-v]
+//	     [-datalog rules.dl] [-travel] [-distribute] [-metrics] [-v] \
+//	     [-retries N] [-breaker-failures N] [-breaker-cooldown 30s]
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the HTTP listener
+// stops accepting requests, then the engine drains every in-flight rule
+// instance before the process exits. -retries and -breaker-* configure
+// the GRH resilience layer (see docs/RESILIENCE.md).
 //
 // With -travel the daemon preloads the paper's car-rental scenario
 // (documents, opaque service endpoints and the Fig. 4 rule). With
@@ -16,17 +22,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/datalog"
 	"repro/internal/domain/travel"
 	"repro/internal/engine"
+	"repro/internal/grh"
 	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/ruleml"
@@ -39,37 +50,62 @@ type repeated []string
 func (r *repeated) String() string     { return strings.Join(*r, ",") }
 func (r *repeated) Set(s string) error { *r = append(*r, s); return nil }
 
+// options carries the parsed command-line configuration.
+type options struct {
+	addr            string
+	datalogSrc      string
+	registry        string
+	loadTravel      bool
+	distribute      bool
+	metrics         bool
+	verbose         bool
+	retries         int
+	breakerFailures int
+	breakerCooldown time.Duration
+	rules           []string
+	docs            []string
+}
+
 func main() {
-	var (
-		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
-		datalogSrc = flag.String("datalog", "", "Datalog rulebase file for the LP query service")
-		registry   = flag.String("registry", "", "Turtle file with language-service descriptions to register (ontology-driven dispatch)")
-		loadTravel = flag.Bool("travel", false, "preload the car-rental running example")
-		distribute = flag.Bool("distribute", false, "route all component traffic over this daemon's HTTP endpoints")
-		metrics    = flag.Bool("metrics", true, "expose /metrics and /debug/traces (observability hub)")
-		verbose    = flag.Bool("v", false, "log engine evaluation traces")
-		rules      repeated
-		docs       repeated
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address")
+	flag.StringVar(&o.datalogSrc, "datalog", "", "Datalog rulebase file for the LP query service")
+	flag.StringVar(&o.registry, "registry", "", "Turtle file with language-service descriptions to register (ontology-driven dispatch)")
+	flag.BoolVar(&o.loadTravel, "travel", false, "preload the car-rental running example")
+	flag.BoolVar(&o.distribute, "distribute", false, "route all component traffic over this daemon's HTTP endpoints")
+	flag.BoolVar(&o.metrics, "metrics", true, "expose /metrics and /debug/traces (observability hub)")
+	flag.BoolVar(&o.verbose, "v", false, "log engine evaluation traces")
+	flag.IntVar(&o.retries, "retries", 2, "GRH retries after the first attempt for idempotent dispatches (queries/tests; 0 disables)")
+	flag.IntVar(&o.breakerFailures, "breaker-failures", grh.DefaultBreakerPolicy.FailureThreshold, "consecutive endpoint failures that trip the GRH circuit breaker (0 disables)")
+	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", grh.DefaultBreakerPolicy.Cooldown, "how long an open circuit breaker sheds load before probing the endpoint again")
+	var rules, docs repeated
 	flag.Var(&rules, "rule", "rule file to register at startup (repeatable)")
 	flag.Var(&docs, "doc", "uri=file pair to load into the document store (repeatable)")
 	flag.Parse()
+	o.rules, o.docs = rules, docs
 
-	if err := run(*addr, *datalogSrc, *registry, *loadTravel, *distribute, *metrics, *verbose, rules, docs); err != nil {
+	if err := run(o); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, datalogSrc, registry string, loadTravel, distribute, metrics, verbose bool, rules, docs []string) error {
+func run(o options) error {
 	cfg := system.Config{Namespaces: travel.Namespaces()}
-	if metrics {
+	if o.metrics {
 		cfg.Obs = obs.NewHub()
 	}
-	if verbose {
+	if o.verbose {
 		cfg.Logger = engine.LoggerFunc(log.Printf)
 	}
-	if datalogSrc != "" {
-		src, err := os.ReadFile(datalogSrc)
+	if o.retries > 0 {
+		cfg.Retry = grh.DefaultRetryPolicy
+		cfg.Retry.MaxAttempts = o.retries + 1
+	}
+	if o.breakerFailures > 0 {
+		cfg.Breaker = grh.BreakerPolicy{FailureThreshold: o.breakerFailures, Cooldown: o.breakerCooldown}
+	}
+	if o.datalogSrc != "" {
+		src, err := os.ReadFile(o.datalogSrc)
 		if err != nil {
 			return err
 		}
@@ -83,7 +119,7 @@ func run(addr, datalogSrc, registry string, loadTravel, distribute, metrics, ver
 	if err != nil {
 		return err
 	}
-	for _, pair := range docs {
+	for _, pair := range o.docs {
 		uri, file, ok := strings.Cut(pair, "=")
 		if !ok {
 			return fmt.Errorf("-doc wants uri=file, got %q", pair)
@@ -99,8 +135,8 @@ func run(addr, datalogSrc, registry string, loadTravel, distribute, metrics, ver
 		sys.Store.Put(uri, doc)
 	}
 
-	if registry != "" {
-		f, err := os.Open(registry)
+	if o.registry != "" {
+		f, err := os.Open(o.registry)
 		if err != nil {
 			return err
 		}
@@ -109,16 +145,16 @@ func run(addr, datalogSrc, registry string, loadTravel, distribute, metrics, ver
 		if err != nil {
 			return err
 		}
-		log.Printf("registered %d language service(s) from %s", n, registry)
+		log.Printf("registered %d language service(s) from %s", n, o.registry)
 	}
 
 	var opaqueDoc *xmltree.Node
-	if loadTravel {
+	if o.loadTravel {
 		travel.LoadStore(sys.Store)
 		opaqueDoc = xmltree.MustParse(travel.ClassesXML)
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
@@ -126,23 +162,28 @@ func run(addr, datalogSrc, registry string, loadTravel, distribute, metrics, ver
 	mux := sys.Mux(opaqueDoc, travel.Namespaces())
 	srv := &http.Server{Handler: mux}
 
+	serveErr := make(chan error, 1)
 	go func() {
 		if err := srv.Serve(ln); err != http.ErrServerClosed {
-			log.Fatal(err)
+			serveErr <- err
 		}
 	}()
 	log.Printf("ecad listening on %s", base)
-	if metrics {
+	if o.metrics {
 		log.Printf("observability on: %s/metrics %s/debug/traces %s/healthz", base, base, base)
 	}
+	if o.retries > 0 || o.breakerFailures > 0 {
+		log.Printf("resilience: retries=%d breaker-failures=%d breaker-cooldown=%s",
+			o.retries, o.breakerFailures, o.breakerCooldown)
+	}
 
-	if distribute {
+	if o.distribute {
 		if err := sys.Distribute(base); err != nil {
 			return err
 		}
 		log.Printf("component traffic routed through %s (distributed mode)", base)
 	}
-	if loadTravel {
+	if o.loadTravel {
 		rule, err := ruleml.ParseString(travel.RuleXML(base+"/opaque/store", base+"/opaque/xquery"))
 		if err != nil {
 			return err
@@ -152,7 +193,7 @@ func run(addr, datalogSrc, registry string, loadTravel, distribute, metrics, ver
 		}
 		log.Printf("registered rule %s (car-rental running example)", rule.ID)
 	}
-	for _, file := range rules {
+	for _, file := range o.rules {
 		src, err := os.ReadFile(file)
 		if err != nil {
 			return err
@@ -166,5 +207,23 @@ func run(addr, datalogSrc, registry string, loadTravel, distribute, metrics, ver
 		}
 		log.Printf("registered rule %s from %s", rule.ID, file)
 	}
-	select {} // serve forever
+
+	// Serve until SIGINT/SIGTERM, then drain: stop accepting HTTP first,
+	// then let the engine finish every in-flight rule instance.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("ecad: signal received, shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("ecad: http shutdown: %v", err)
+	}
+	sys.Close()
+	log.Printf("ecad: drained, bye")
+	return nil
 }

@@ -4,13 +4,16 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bindings"
 	"repro/internal/datalog"
 	"repro/internal/domain/travel"
 	"repro/internal/events"
+	"repro/internal/grh"
 	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/ruleml"
@@ -28,7 +31,7 @@ func serveMux(sc *travel.Scenario) (*httptest.Server, error) {
 
 // Series lists the available performance series.
 func Series() []string {
-	return []string{"reg", "match", "snoop", "join", "grh", "e2e", "datalog", "xq", "xpath"}
+	return []string{"reg", "match", "snoop", "join", "grh", "e2e", "datalog", "xq", "xpath", "resilience"}
 }
 
 // RunSeries executes one named series, printing a table to w. Series that
@@ -56,6 +59,8 @@ func RunSeries(name string, w io.Writer) error {
 		err = seriesXQ(w)
 	case "xpath":
 		err = seriesXPath(w)
+	case "resilience":
+		err = seriesResilience(w, hub)
 	default:
 		return fmt.Errorf("bench: unknown series %q (have %v)", name, Series())
 	}
@@ -354,6 +359,81 @@ func seriesXQ(w io.Writer) error {
 			}
 		})
 		fmt.Fprintf(w, "%s\t%.0f\t%.0f\n", name, nsop, 1e9/nsop)
+	}
+	return nil
+}
+
+// seriesResilience: dispatch outcome and cost against a flaky service
+// (every 3rd request answers 503) with retry off vs. on, then fast-fail
+// cost of a tripped breaker against a dead endpoint vs. paying the
+// transport error every time.
+func seriesResilience(w io.Writer, hub *obs.Hub) error {
+	fmt.Fprintln(w, "series resilience — GRH dispatch against faulty services")
+	fmt.Fprintln(w, "segment\tconfig\tok/total\tns/dispatch")
+
+	var hits atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1)%3 == 0 {
+			http.Error(w, "transient", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, protocol.EncodeAnswers(protocol.NewAnswer("bench", "query[1]", bindings.Unit())).String())
+	}))
+	defer flaky.Close()
+
+	comp := func(lang string) grhComponent {
+		return grhComponent{
+			Rule:     "bench",
+			Comp:     ruleml.Component{Kind: ruleml.QueryComponent, ID: "query[1]", Language: lang, Expression: xmltree.NewElement(lang, "q")},
+			Bindings: bindings.Unit(),
+		}
+	}
+	const n = 300
+	retryConfigs := []struct {
+		name  string
+		retry grh.RetryPolicy
+	}{
+		{"no-retry", grh.RetryPolicy{}},
+		{"retry×3", grh.RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Microsecond, MaxDelay: time.Millisecond}},
+	}
+	for _, rc := range retryConfigs {
+		g := grh.New(grh.WithObs(hub), grh.WithRetry(rc.retry))
+		lang := "http://flaky/" + rc.name
+		if err := g.Register(grh.Descriptor{Language: lang, FrameworkAware: true, Endpoint: flaky.URL}); err != nil {
+			return err
+		}
+		ok := 0
+		nsop := measure(n, func(int) {
+			if _, err := g.Dispatch(protocol.Query, comp(lang)); err == nil {
+				ok++
+			}
+		})
+		fmt.Fprintf(w, "flaky-1/3\t%s\t%d/%d\t%.0f\n", rc.name, ok, n, nsop)
+	}
+
+	// Dead endpoint: without a breaker every dispatch pays the transport
+	// error; with one, the circuit opens after the threshold and the rest
+	// are shed without touching the network.
+	dead := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+	breakerConfigs := []struct {
+		name    string
+		breaker grh.BreakerPolicy
+	}{
+		{"no-breaker", grh.BreakerPolicy{}},
+		{"breaker(3)", grh.BreakerPolicy{FailureThreshold: 3, Cooldown: time.Minute}},
+	}
+	for _, bc := range breakerConfigs {
+		g := grh.New(grh.WithObs(hub), grh.WithBreaker(bc.breaker))
+		lang := "http://dead/" + bc.name
+		if err := g.Register(grh.Descriptor{Language: lang, FrameworkAware: true, Endpoint: deadURL}); err != nil {
+			return err
+		}
+		nsop := measure(200, func(int) {
+			g.Dispatch(protocol.Query, comp(lang))
+		})
+		fmt.Fprintf(w, "dead-endpoint\t%s\t0/200\t%.0f\n", bc.name, nsop)
 	}
 	return nil
 }

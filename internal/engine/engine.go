@@ -9,6 +9,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -53,14 +54,17 @@ type Engine struct {
 	tr       *obs.Recorder
 	met      metrics
 
-	mu    sync.Mutex
-	rules map[string]*RuleState
-	seq   int
-	stats Stats
+	mu     sync.Mutex
+	rules  map[string]*RuleState
+	seq    int
+	stats  Stats
+	closed bool
 
 	// Worker pool for asynchronous instance evaluation (WithWorkers).
-	jobs     chan instanceJob
-	inFlight sync.WaitGroup
+	jobs      chan instanceJob
+	inFlight  sync.WaitGroup
+	workers   sync.WaitGroup
+	closeOnce sync.Once
 }
 
 type instanceJob struct {
@@ -121,15 +125,18 @@ func WithObs(h *obs.Hub) Option { return func(e *Engine) { e.hub = h } }
 // WithWorkers evaluates rule instances asynchronously on n worker
 // goroutines instead of on the detection-delivering goroutine. Useful when
 // component services are remote: instances then overlap their HTTP round
-// trips. Call Wait to drain in-flight instances.
+// trips. Call Wait to drain in-flight instances, Close to drain and stop
+// the workers for good.
 func WithWorkers(n int) Option {
 	return func(e *Engine) {
 		if n <= 0 {
 			return
 		}
 		e.jobs = make(chan instanceJob, 4*n)
+		e.workers.Add(n)
 		for i := 0; i < n; i++ {
 			go func() {
+				defer e.workers.Done()
 				for j := range e.jobs {
 					e.runInstance(j.rs, j.rel, j.tr)
 					e.inFlight.Done()
@@ -151,8 +158,41 @@ func New(g *grh.GRH, opts ...Option) *Engine {
 }
 
 // Wait blocks until every instance accepted so far has finished evaluating.
-// It is a no-op for synchronous engines.
 func (e *Engine) Wait() { e.inFlight.Wait() }
+
+// Close shuts the engine down gracefully: detections arriving after
+// Close are dropped, every in-flight rule instance (synchronous or on
+// the worker pool) drains to completion, and the worker goroutines exit
+// so nothing leaks. Safe to call multiple times and concurrently with
+// OnDetection; concurrent callers all block until the drain finishes.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.closeOnce.Do(func() {
+		e.inFlight.Wait()
+		if e.jobs != nil {
+			close(e.jobs)
+			e.workers.Wait()
+		}
+	})
+}
+
+// admitInstance reserves one in-flight instance slot unless the engine
+// is closed; the reservation is released when the instance finishes
+// evaluating. Reserving under the same lock that Close takes makes the
+// closed-check/Add pair atomic, so Close's drain observes every admitted
+// instance and no instance is admitted after the drain began.
+func (e *Engine) admitInstance() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	e.stats.InstancesCreated++
+	e.inFlight.Add(1)
+	return true
+}
 
 func (e *Engine) logf(format string, args ...any) {
 	if e.log != nil {
@@ -250,10 +290,17 @@ func (e *Engine) Unregister(id string) error {
 // OnDetection is the entry point for event detection messages (Fig. 6):
 // the local sink of in-process event services, and the HTTP callback
 // handler target in distributed deployments. One rule instance is created
-// per answer tuple; instances are evaluated synchronously.
+// per answer tuple — and, when the event component binds an
+// <eca:variable>, one per functional result of each tuple, per the
+// Fig. 8 semantics. Detections arriving after Close are dropped.
 func (e *Engine) OnDetection(a *protocol.Answer) {
 	e.met.detections.Inc()
 	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.logf("detection for rule %q dropped: engine closed", a.RuleID)
+		return
+	}
 	rs, ok := e.rules[a.RuleID]
 	e.mu.Unlock()
 	if !ok {
@@ -261,33 +308,43 @@ func (e *Engine) OnDetection(a *protocol.Answer) {
 		return
 	}
 	for _, row := range a.Rows {
-		tuple := row.Tuple
+		tuples := []bindings.Tuple{row.Tuple}
 		if rs.Rule.Event.Variable != "" && len(row.Results) > 0 {
-			tuple = tuple.Clone()
-			tuple[rs.Rule.Event.Variable] = row.Results[0]
+			// Fig. 8 functional-result semantics: every result yields
+			// its own binding of the event variable, hence its own rule
+			// instance — not just the first result.
+			tuples = tuples[:0]
+			for _, res := range row.Results {
+				t := row.Tuple.Clone()
+				t[rs.Rule.Event.Variable] = res
+				tuples = append(tuples, t)
+			}
 		}
-		e.mu.Lock()
-		e.stats.InstancesCreated++
-		e.mu.Unlock()
-		e.met.instances.With("created").Inc()
-		tr := e.tr.Begin(a.RuleID)
-		tr.AddSpan(obs.Span{
-			Stage:     string(ruleml.EventComponent),
-			Component: a.Component,
-			Language:  rs.Rule.Event.Language,
-			Mode:      "detection",
-			TuplesOut: 1,
-			Start:     time.Now(),
-		})
-		e.logf("rule %s: event %s detected, instance created with %s",
-			a.RuleID, a.Component, tuple)
-		rel := bindings.NewRelation(tuple)
-		if e.jobs != nil {
-			e.inFlight.Add(1)
-			e.jobs <- instanceJob{rs, rel, tr}
-			continue
+		for _, tuple := range tuples {
+			if !e.admitInstance() {
+				e.logf("rule %s: detection dropped: engine closed", a.RuleID)
+				return
+			}
+			e.met.instances.With("created").Inc()
+			tr := e.tr.Begin(a.RuleID)
+			tr.AddSpan(obs.Span{
+				Stage:     string(ruleml.EventComponent),
+				Component: a.Component,
+				Language:  rs.Rule.Event.Language,
+				Mode:      "detection",
+				TuplesOut: 1,
+				Start:     time.Now(),
+			})
+			e.logf("rule %s: event %s detected, instance created with %s",
+				a.RuleID, a.Component, tuple)
+			rel := bindings.NewRelation(tuple)
+			if e.jobs != nil {
+				e.jobs <- instanceJob{rs, rel, tr}
+				continue
+			}
+			e.runInstance(rs, rel, tr)
+			e.inFlight.Done()
 		}
-		e.runInstance(rs, rel, tr)
 	}
 }
 
@@ -437,14 +494,18 @@ func extendWithResults(full, projected *bindings.Relation, a *protocol.Answer, v
 	})
 }
 
+// projKey canonicalizes a tuple's projection onto vars. It uses the same
+// \x00/\x01 separator scheme as Tuple.key in internal/bindings, so a
+// value containing spaces or brackets can never collide with a
+// differently-split tuple (e.g. {A="x B=y"} vs {A="x", B="y"}).
 func projKey(t bindings.Tuple, vars []string) string {
 	parts := make([]string, 0, len(vars))
 	for _, v := range vars {
 		if val, ok := t[v]; ok {
-			parts = append(parts, v+"="+val.Key())
+			parts = append(parts, v+"\x00"+val.Key())
 		}
 	}
-	return fmt.Sprint(parts)
+	return strings.Join(parts, "\x01")
 }
 
 func orDefault(s, def string) string {

@@ -1,0 +1,138 @@
+package engine
+
+// Regression tests for the Fig. 8 functional-result semantics: these live
+// in the engine package (not engine_test) to pin the unexported projKey
+// scheme alongside the end-to-end behavior.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bindings"
+	"repro/internal/grh"
+	"repro/internal/protocol"
+	"repro/internal/ruleml"
+	"repro/internal/services"
+)
+
+// recorder wires a minimal GRH: a no-op event matcher and an action
+// service capturing the relation each action execution received.
+func recorderGRH(t *testing.T) (*grh.GRH, func() []*bindings.Relation) {
+	t.Helper()
+	g := grh.New()
+	var mu sync.Mutex
+	var got []*bindings.Relation
+	if err := g.Register(grh.Descriptor{
+		Language:       services.ActionNS,
+		Kinds:          []ruleml.ComponentKind{ruleml.ActionComponent},
+		FrameworkAware: true,
+		Local: grh.ServiceFunc(func(req *protocol.Request) (*protocol.Answer, error) {
+			mu.Lock()
+			got = append(got, req.Bindings)
+			mu.Unlock()
+			return &protocol.Answer{}, nil
+		}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Register(grh.Descriptor{
+		Language:       services.MatcherNS,
+		Kinds:          []ruleml.ComponentKind{ruleml.EventComponent},
+		FrameworkAware: true,
+		Local: grh.ServiceFunc(func(*protocol.Request) (*protocol.Answer, error) {
+			return &protocol.Answer{}, nil
+		}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g.SetDefault(ruleml.EventComponent, services.MatcherNS)
+	g.SetDefault(ruleml.ActionComponent, services.ActionNS)
+	return g, func() []*bindings.Relation {
+		mu.Lock()
+		defer mu.Unlock()
+		return got
+	}
+}
+
+// TestMultiResultDetection: a detection answer whose row carries several
+// functional results must create one rule instance per result (Fig. 8),
+// not just bind the first result.
+func TestMultiResultDetection(t *testing.T) {
+	g, actions := recorderGRH(t)
+	e := New(g)
+	rule := ruleml.MustParse(`<eca:rule xmlns:eca="` + protocol.ECANS + `" xmlns:t="http://t/" id="multi">
+	  <eca:variable name="Evt">
+	    <eca:event><t:ping from="$F"/></eca:event>
+	  </eca:variable>
+	  <eca:action><t:echo f="$F">$Evt</t:echo></eca:action>
+	</eca:rule>`)
+	if err := e.Register(rule); err != nil {
+		t.Fatal(err)
+	}
+	e.OnDetection(&protocol.Answer{
+		RuleID:    "multi",
+		Component: "event[1]",
+		Rows: []protocol.AnswerRow{{
+			Tuple:   bindings.MustTuple("F", bindings.Str("alice")),
+			Results: []bindings.Value{bindings.Str("occ1"), bindings.Str("occ2"), bindings.Str("occ3")},
+		}},
+	})
+	st := e.Stats()
+	if st.InstancesCreated != 3 || st.InstancesCompleted != 3 {
+		t.Fatalf("stats = %+v, want 3 instances (one per functional result)", st)
+	}
+	seen := map[string]bool{}
+	for _, rel := range actions() {
+		for _, tup := range rel.Tuples() {
+			if tup["F"].AsString() != "alice" {
+				t.Errorf("tuple lost the event bindings: %v", tup)
+			}
+			seen[tup["Evt"].AsString()] = true
+		}
+	}
+	for _, want := range []string{"occ1", "occ2", "occ3"} {
+		if !seen[want] {
+			t.Errorf("no instance bound Evt=%q (saw %v)", want, seen)
+		}
+	}
+}
+
+// TestProjKeyNoCollision pins the canonical projection key: a value
+// containing spaces must not collide with a differently-split tuple.
+func TestProjKeyNoCollision(t *testing.T) {
+	vars := []string{"A", "B"}
+	t1 := bindings.MustTuple("A", bindings.Str("x B=y"))
+	t2 := bindings.MustTuple("A", bindings.Str("x"), "B", bindings.Str("y"))
+	if projKey(t1, vars) == projKey(t2, vars) {
+		t.Fatalf("projKey collision: %q", projKey(t1, vars))
+	}
+}
+
+// TestExtendWithResultsCollision: functional results must land on
+// exactly the input tuples that produced them, even when one tuple's
+// value embeds what looks like another tuple's rendering ({A="x B=y"}
+// vs {A="x", B="y"}).
+func TestExtendWithResultsCollision(t *testing.T) {
+	tricky := bindings.MustTuple("A", bindings.Str("x B=y"))
+	split := bindings.MustTuple("A", bindings.Str("x"), "B", bindings.Str("y"))
+	full := bindings.NewRelation(tricky, split)
+	projected := full.Project("A", "B")
+	answer := &protocol.Answer{Rows: []protocol.AnswerRow{
+		{Tuple: tricky, Results: []bindings.Value{bindings.Str("r-tricky")}},
+		{Tuple: split, Results: []bindings.Value{bindings.Str("r-split-1"), bindings.Str("r-split-2")}},
+	}}
+	out := extendWithResults(full, projected, answer, "V")
+	if out.Size() != 3 {
+		t.Fatalf("extended relation:\n%s\nwant 3 tuples (1 + 2), got %d — results leaked across colliding keys", out, out.Size())
+	}
+	for _, tup := range out.Tuples() {
+		v := tup["V"].AsString()
+		_, isSplit := tup["B"]
+		if isSplit && v == "r-tricky" {
+			t.Errorf("split tuple received the tricky tuple's result: %v", tup)
+		}
+		if !isSplit && v != "r-tricky" {
+			t.Errorf("tricky tuple received a foreign result: %v", tup)
+		}
+	}
+}

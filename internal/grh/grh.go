@@ -17,7 +17,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"net/url"
@@ -25,6 +24,7 @@ import (
 	"strings"
 	"sync"
 	"time"
+	"unicode/utf8"
 
 	"repro/internal/bindings"
 	"repro/internal/obs"
@@ -83,24 +83,38 @@ type GRH struct {
 	timeout  time.Duration
 	trace    TraceFunc
 	met      metrics
+
+	retry    RetryPolicy
+	breakers *breakerSet // nil: circuit breaking disabled
+
+	// Clock and sleep hooks, replaced in tests to make retry/breaker
+	// timing deterministic.
+	now   func() time.Time
+	sleep func(time.Duration)
 }
 
 // metrics are the GRH's observability instruments; all nil-safe, so an
 // uninstrumented GRH pays only nil receiver checks.
 type metrics struct {
-	requests *obs.CounterVec   // grh_requests_total{kind}
-	dispatch *obs.HistogramVec // grh_dispatch_seconds{language,mode}
-	errors   *obs.CounterVec   // grh_errors_total{reason}
-	services *obs.CounterVec   // service_requests_total{kind} (in-process boundary)
+	requests     *obs.CounterVec   // grh_requests_total{kind}
+	dispatch     *obs.HistogramVec // grh_dispatch_seconds{language,mode}
+	errors       *obs.CounterVec   // grh_errors_total{reason}
+	services     *obs.CounterVec   // service_requests_total{kind} (in-process boundary)
+	retries      *obs.CounterVec   // grh_retries_total{kind}
+	breakerState *obs.GaugeVec     // grh_breaker_state{endpoint}
+	breakerOpen  *obs.CounterVec   // grh_breaker_open_total{endpoint}
 }
 
 func newMetrics(h *obs.Hub) metrics {
 	r := h.Metrics()
 	return metrics{
-		requests: r.CounterVec("grh_requests_total", "Component requests dispatched by the Generic Request Handler, by request kind.", "kind"),
-		dispatch: r.HistogramVec("grh_dispatch_seconds", "GRH dispatch latency by component language and mediation mode (local, aware, opaque).", nil, "language", "mode"),
-		errors:   r.CounterVec("grh_errors_total", "GRH dispatch failures by reason (resolve, service, timeout, transport, http-status, decode, config).", "reason"),
-		services: r.CounterVec("service_requests_total", "Requests handled by component language services, by request kind.", "kind"),
+		requests:     r.CounterVec("grh_requests_total", "Component requests dispatched by the Generic Request Handler, by request kind.", "kind"),
+		dispatch:     r.HistogramVec("grh_dispatch_seconds", "GRH dispatch latency by component language and mediation mode (local, aware, opaque).", nil, "language", "mode"),
+		errors:       r.CounterVec("grh_errors_total", "GRH dispatch failures by reason (resolve, service, timeout, transport, http-status, decode, config, breaker).", "reason"),
+		services:     r.CounterVec("service_requests_total", "Requests handled by component language services, by request kind.", "kind"),
+		retries:      r.CounterVec("grh_retries_total", "GRH dispatch retries by request kind (idempotent kinds only).", "kind"),
+		breakerState: r.GaugeVec("grh_breaker_state", "Circuit breaker state per service endpoint (0 closed, 1 half-open, 2 open).", "endpoint"),
+		breakerOpen:  r.CounterVec("grh_breaker_open_total", "Circuit breaker trips (transitions to open) per service endpoint.", "endpoint"),
 	}
 }
 
@@ -123,6 +137,23 @@ func WithClient(c *http.Client) Option { return func(g *GRH) { g.client = c } }
 // WithObs installs the observability hub the GRH reports metrics to.
 func WithObs(h *obs.Hub) Option { return func(g *GRH) { g.met = newMetrics(h) } }
 
+// WithRetry enables retry with exponential backoff for idempotent
+// dispatches (queries and tests). A policy with MaxAttempts ≤ 1 keeps
+// retry disabled.
+func WithRetry(p RetryPolicy) Option { return func(g *GRH) { g.retry = p } }
+
+// WithBreaker enables the per-endpoint circuit breaker. A policy with
+// FailureThreshold ≤ 0 keeps circuit breaking disabled.
+func WithBreaker(p BreakerPolicy) Option {
+	return func(g *GRH) {
+		if p.Enabled() {
+			g.breakers = newBreakerSet(p)
+		} else {
+			g.breakers = nil
+		}
+	}
+}
+
 // New returns an empty GRH. Remote calls use a dedicated HTTP client with
 // DefaultTimeout (never http.DefaultClient, which has none).
 func New(opts ...Option) *GRH {
@@ -130,6 +161,8 @@ func New(opts ...Option) *GRH {
 		byLang:   map[string]*Descriptor{},
 		defaults: map[ruleml.ComponentKind]string{},
 		timeout:  DefaultTimeout,
+		now:      time.Now,
+		sleep:    time.Sleep,
 	}
 	for _, o := range opts {
 		o(g)
@@ -140,8 +173,22 @@ func New(opts ...Option) *GRH {
 	return g
 }
 
-// SetClient replaces the HTTP client used for remote services.
-func (g *GRH) SetClient(c *http.Client) { g.client = c }
+// SetClient replaces the HTTP client used for remote services. Safe to
+// call concurrently with Dispatch.
+func (g *GRH) SetClient(c *http.Client) {
+	g.mu.Lock()
+	g.client = c
+	g.mu.Unlock()
+}
+
+// httpClient returns the current HTTP client under the read lock; every
+// remote call resolves the client through here so SetClient never races
+// with an in-flight Dispatch.
+func (g *GRH) httpClient() *http.Client {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.client
+}
 
 // SetTrace installs a traffic observer (nil disables tracing).
 func (g *GRH) SetTrace(t TraceFunc) {
@@ -259,7 +306,7 @@ func (g *GRH) Dispatch(kind protocol.RequestKind, c Component) (*protocol.Answer
 		if c.Comp.Service != "" {
 			if d, ok := g.Lookup(c.Comp.Language); !ok || !d.FrameworkAware {
 				mode = "opaque"
-				return g.opaqueMediate(c)
+				return g.opaqueMediate(kind, c)
 			}
 		}
 		// Opaque text for a registered language: wrap as an expression the
@@ -277,14 +324,14 @@ func (g *GRH) Dispatch(kind protocol.RequestKind, c Component) (*protocol.Answer
 			// No registered processor: fall back to opaque mediation
 			// against the pinned endpoint.
 			mode = "opaque"
-			return g.opaqueMediate(c)
+			return g.opaqueMediate(kind, c)
 		}
 		g.met.errors.With("resolve").Inc()
 		return nil, err
 	}
 	if !d.FrameworkAware {
 		mode = "opaque"
-		return g.opaqueMediateVia(c, d.Endpoint)
+		return g.opaqueMediateVia(kind, c, d.Endpoint)
 	}
 	if !kindAllowed(d, c.Comp.Kind) {
 		g.met.errors.With("resolve").Inc()
@@ -355,24 +402,16 @@ func kindAllowed(d *Descriptor, k ruleml.ComponentKind) bool {
 }
 
 // httpDispatch POSTs the request envelope to a framework-aware remote
-// service and decodes the log:answers response.
+// service and decodes the log:answers response, with breaker admission
+// and retry for idempotent request kinds (see exchange).
 func (g *GRH) httpDispatch(d *Descriptor, req *protocol.Request) (*protocol.Answer, error) {
 	payload := protocol.EncodeRequest(req)
 	g.emitTrace("→", d.name(), payload)
-	resp, err := g.client.Post(d.Endpoint, "application/xml", strings.NewReader(payload.String()))
+	body, err := g.exchange(req.Kind, "POST", d.Endpoint, func(c *http.Client) (*http.Response, error) {
+		return c.Post(d.Endpoint, "application/xml", strings.NewReader(payload.String()))
+	})
 	if err != nil {
-		g.countHTTPErr(err)
-		return nil, fmt.Errorf("grh: POST %s: %w", d.Endpoint, err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
-	if err != nil {
-		g.countHTTPErr(err)
-		return nil, fmt.Errorf("grh: read %s: %w", d.Endpoint, err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		g.met.errors.With("http-status").Inc()
-		return nil, fmt.Errorf("grh: %s: HTTP %d: %s", d.Endpoint, resp.StatusCode, truncate(string(body), 300))
+		return nil, err
 	}
 	doc, err := xmltree.ParseString(string(body))
 	if err != nil {
@@ -389,14 +428,15 @@ func (g *GRH) httpDispatch(d *Descriptor, req *protocol.Request) (*protocol.Answ
 }
 
 // opaqueMediate handles an opaque component pinned to a service URI.
-func (g *GRH) opaqueMediate(c Component) (*protocol.Answer, error) {
-	return g.opaqueMediateVia(c, c.Comp.Service)
+func (g *GRH) opaqueMediate(kind protocol.RequestKind, c Component) (*protocol.Answer, error) {
+	return g.opaqueMediateVia(kind, c, c.Comp.Service)
 }
 
 // opaqueMediateVia implements the framework-unaware protocol of Fig. 9:
 // one HTTP GET per input tuple, variables substituted into the query
-// string, raw results re-wrapped as functional results.
-func (g *GRH) opaqueMediateVia(c Component, endpoint string) (*protocol.Answer, error) {
+// string, raw results re-wrapped as functional results. Per-tuple GETs
+// get the same breaker admission and retry treatment as aware POSTs.
+func (g *GRH) opaqueMediateVia(kind protocol.RequestKind, c Component, endpoint string) (*protocol.Answer, error) {
 	if endpoint == "" {
 		g.met.errors.With("config").Inc()
 		return nil, fmt.Errorf("grh: opaque component %s has no service endpoint", c.Comp.ID)
@@ -419,20 +459,11 @@ func (g *GRH) opaqueMediateVia(c Component, endpoint string) (*protocol.Answer, 
 			u += "?query=" + url.QueryEscape(q)
 		}
 		g.emitTrace("→", endpoint, traceGet(u, q))
-		resp, err := g.client.Get(u)
+		body, err := g.exchange(kind, "GET", endpoint, func(c *http.Client) (*http.Response, error) {
+			return c.Get(u)
+		})
 		if err != nil {
-			g.countHTTPErr(err)
-			return nil, fmt.Errorf("grh: GET %s: %w", endpoint, err)
-		}
-		body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
-		resp.Body.Close()
-		if err != nil {
-			g.countHTTPErr(err)
-			return nil, fmt.Errorf("grh: read %s: %w", endpoint, err)
-		}
-		if resp.StatusCode != http.StatusOK {
-			g.met.errors.With("http-status").Inc()
-			return nil, fmt.Errorf("grh: %s: HTTP %d: %s", endpoint, resp.StatusCode, truncate(string(body), 300))
+			return nil, err
 		}
 		rows, err := decodeOpaqueResults(t, string(body))
 		if err != nil {
@@ -517,9 +548,14 @@ func SubstituteVars(q string, t bindings.Tuple) string {
 	return q
 }
 
+// truncate shortens s to at most n bytes, backing up to a rune boundary
+// so multi-byte HTTP bodies never yield invalid UTF-8 in error messages.
 func truncate(s string, n int) string {
 	if len(s) <= n {
 		return s
+	}
+	for n > 0 && !utf8.RuneStart(s[n]) {
+		n--
 	}
 	return s[:n] + "…"
 }

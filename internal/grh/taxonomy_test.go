@@ -1,0 +1,179 @@
+package grh
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bindings"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/ruleml"
+	"repro/internal/xmltree"
+)
+
+// TestErrorTaxonomy exercises every grh_errors_total reason with an
+// injected fault, asserting both the returned error and the counter
+// increment. One subtest per reason so a regression names the exact
+// classification it broke.
+func TestErrorTaxonomy(t *testing.T) {
+	awareComp := func(lang string) Component {
+		return Component{
+			Rule:     "r",
+			Comp:     ruleml.Component{Kind: ruleml.QueryComponent, ID: "query[1]", Language: lang, Expression: xmltree.NewElement(lang, "q")},
+			Bindings: bindings.NewRelation(bindings.MustTuple("X", bindings.Str("1"))),
+		}
+	}
+
+	cases := []struct {
+		reason  string
+		wantErr string
+		// setup registers endpoints/services on g and returns the
+		// dispatch to run; srv may be nil when no server is needed.
+		setup func(t *testing.T, g *GRH) func() error
+	}{
+		{
+			reason:  "resolve",
+			wantErr: "no processor for language",
+			setup: func(t *testing.T, g *GRH) func() error {
+				return func() error {
+					_, err := g.Dispatch(protocol.Query, awareComp("http://nowhere/"))
+					return err
+				}
+			},
+		},
+		{
+			reason:  "service",
+			wantErr: "boom",
+			setup: func(t *testing.T, g *GRH) func() error {
+				g.Register(Descriptor{Language: "http://local/", FrameworkAware: true,
+					Local: ServiceFunc(func(*protocol.Request) (*protocol.Answer, error) {
+						return nil, fmt.Errorf("boom")
+					})})
+				return func() error {
+					_, err := g.Dispatch(protocol.Query, awareComp("http://local/"))
+					return err
+				}
+			},
+		},
+		{
+			reason:  "timeout",
+			wantErr: "POST",
+			setup: func(t *testing.T, g *GRH) func() error {
+				block := make(chan struct{})
+				srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					select {
+					case <-block:
+					case <-r.Context().Done():
+					}
+				}))
+				t.Cleanup(func() { close(block); srv.Close() })
+				g.SetClient(&http.Client{Timeout: 30 * time.Millisecond})
+				g.Register(Descriptor{Language: "http://slow/", FrameworkAware: true, Endpoint: srv.URL})
+				return func() error {
+					_, err := g.Dispatch(protocol.Query, awareComp("http://slow/"))
+					return err
+				}
+			},
+		},
+		{
+			reason:  "transport",
+			wantErr: "POST",
+			setup: func(t *testing.T, g *GRH) func() error {
+				// A server that is already gone: connection refused.
+				srv := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+				url := srv.URL
+				srv.Close()
+				g.Register(Descriptor{Language: "http://gone/", FrameworkAware: true, Endpoint: url})
+				return func() error {
+					_, err := g.Dispatch(protocol.Query, awareComp("http://gone/"))
+					return err
+				}
+			},
+		},
+		{
+			reason:  "http-status",
+			wantErr: "HTTP 500",
+			setup: func(t *testing.T, g *GRH) func() error {
+				srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					http.Error(w, "broken", http.StatusInternalServerError)
+				}))
+				t.Cleanup(srv.Close)
+				g.Register(Descriptor{Language: "http://broken/", FrameworkAware: true, Endpoint: srv.URL})
+				return func() error {
+					_, err := g.Dispatch(protocol.Query, awareComp("http://broken/"))
+					return err
+				}
+			},
+		},
+		{
+			reason:  "decode",
+			wantErr: "bad answer",
+			setup: func(t *testing.T, g *GRH) func() error {
+				srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					fmt.Fprint(w, "this is not an answers document")
+				}))
+				t.Cleanup(srv.Close)
+				g.Register(Descriptor{Language: "http://garbage/", FrameworkAware: true, Endpoint: srv.URL})
+				return func() error {
+					_, err := g.Dispatch(protocol.Query, awareComp("http://garbage/"))
+					return err
+				}
+			},
+		},
+		{
+			reason:  "config",
+			wantErr: "framework-unaware",
+			setup: func(t *testing.T, g *GRH) func() error {
+				return func() error {
+					_, err := g.Dispatch(protocol.RegisterEvent, Component{
+						Rule:     "r",
+						Comp:     ruleml.Component{Kind: ruleml.EventComponent, Opaque: true, Language: "x", Service: "http://localhost:1/", Text: "e"},
+						Bindings: bindings.NewRelation(),
+					})
+					return err
+				}
+			},
+		},
+		{
+			reason:  "breaker",
+			wantErr: "circuit open",
+			setup: func(t *testing.T, g *GRH) func() error {
+				srv := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+				url := srv.URL
+				srv.Close()
+				g.breakers = newBreakerSet(BreakerPolicy{FailureThreshold: 1, Cooldown: time.Hour})
+				g.Register(Descriptor{Language: "http://shed/", FrameworkAware: true, Endpoint: url})
+				return func() error {
+					// First dispatch trips the breaker (transport error),
+					// the second is shed by it.
+					g.Dispatch(protocol.Query, awareComp("http://shed/"))
+					_, err := g.Dispatch(protocol.Query, awareComp("http://shed/"))
+					return err
+				}
+			},
+		},
+	}
+
+	for _, c := range cases {
+		t.Run(c.reason, func(t *testing.T) {
+			hub := obs.NewHub()
+			g := New(WithObs(hub))
+			dispatch := c.setup(t, g)
+			err := dispatch()
+			if err == nil {
+				t.Fatalf("dispatch must fail with a %s error", c.reason)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error = %q, want substring %q", err, c.wantErr)
+			}
+			got := hub.Metrics().CounterVec("grh_errors_total", "", "reason").With(c.reason).Value()
+			if got != 1 {
+				t.Errorf("grh_errors_total{%s} = %d, want 1", c.reason, got)
+			}
+		})
+	}
+}

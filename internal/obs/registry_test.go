@@ -63,6 +63,31 @@ func TestGaugeSetAddConcurrent(t *testing.T) {
 	}
 }
 
+// TestGaugeVecConcurrentSet models the breaker-state gauge: many
+// goroutines racing Set on per-endpoint children, resolving through the
+// vec each time. Every child must end on one of the written states.
+func TestGaugeVecConcurrentSet(t *testing.T) {
+	r := NewRegistry()
+	vec := r.GaugeVec("breaker_state", "t", "endpoint")
+	endpoints := []string{"http://a/", "http://b/", "http://c/"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				vec.With(endpoints[i%len(endpoints)]).Set(float64((w + i) % 3))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, ep := range endpoints {
+		if got := vec.With(ep).Value(); got != 0 && got != 1 && got != 2 {
+			t.Errorf("gauge{%s} = %v, want a written state (0, 1 or 2)", ep, got)
+		}
+	}
+}
+
 func TestHistogramBucketBoundaries(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat", "t", []float64{0.1, 1, 10})

@@ -90,6 +90,14 @@ type Config struct {
 	// HTTPTimeout bounds every outbound service request made by the GRH
 	// and the deliverer; grh.DefaultTimeout when zero.
 	HTTPTimeout time.Duration
+	// Retry enables GRH retry with exponential backoff for idempotent
+	// dispatches (queries and tests; never actions). The zero value
+	// disables retry; grh.DefaultRetryPolicy is a sane starting point.
+	Retry grh.RetryPolicy
+	// Breaker enables the GRH's per-endpoint circuit breaker. The zero
+	// value disables it; grh.DefaultBreakerPolicy is a sane starting
+	// point.
+	Breaker grh.BreakerPolicy
 }
 
 // System is one wired deployment of the architecture.
@@ -116,7 +124,8 @@ func NewLocal(cfg Config) (*System, error) {
 	s := &System{
 		Stream:   events.NewStream(),
 		Store:    services.NewDocStore(),
-		GRH:      grh.New(grh.WithObs(cfg.Obs), grh.WithTimeout(cfg.HTTPTimeout)),
+		GRH: grh.New(grh.WithObs(cfg.Obs), grh.WithTimeout(cfg.HTTPTimeout),
+			grh.WithRetry(cfg.Retry), grh.WithBreaker(cfg.Breaker)),
 		Notifier: &Notifier{},
 		Obs:      cfg.Obs,
 		started:  time.Now(),
@@ -293,6 +302,16 @@ func (s *System) healthz(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(h)
+}
+
+// Close shuts the system down gracefully: the engine stops accepting
+// detections and drains every in-flight rule instance, then the event
+// services release their stream subscriptions. Safe to call more than
+// once.
+func (s *System) Close() {
+	s.Engine.Close()
+	s.Matcher.Close()
+	s.Snoop.Close()
 }
 
 // Distribute re-registers every component language in the GRH as a REMOTE

@@ -16,20 +16,32 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
+
+// logger reports replay failures as structured records on stderr; wired
+// from -log-level/-log-format in main before any replay runs.
+var logger *obs.Logger
 
 func main() {
 	var (
-		fig    = flag.Int("fig", 0, "reproduce one figure (1–11)")
-		figs   = flag.Bool("figs", false, "reproduce all figures")
-		series = flag.String("series", "", "run one performance series")
-		all    = flag.Bool("all", false, "figures + all series")
+		fig       = flag.Int("fig", 0, "reproduce one figure (1–11)")
+		figs      = flag.Bool("figs", false, "reproduce all figures")
+		series    = flag.String("series", "", "run one performance series")
+		all       = flag.Bool("all", false, "figures + all series")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		logFormat = flag.String("log-format", "text", "structured log encoding: text or json")
 	)
 	flag.Parse()
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecabench: -log-level: %v\n", err)
+		os.Exit(2)
+	}
+	logger = obs.NewLogger(os.Stderr, *logFormat, level)
 
 	failed := 0
 	switch {
@@ -51,7 +63,7 @@ func main() {
 		os.Exit(2)
 	}
 	if failed > 0 {
-		log.Printf("ecabench: %d replay(s) FAILED", failed)
+		logger.Error("replays failed", "count", failed)
 		os.Exit(1)
 	}
 }
@@ -67,7 +79,7 @@ func runFigs() (failed int) {
 // report logs a failed replay and returns 1 for it, 0 otherwise.
 func report(what string, err error) int {
 	if err != nil {
-		log.Printf("%s: %v", what, err)
+		logger.Error("replay failed", "replay", what, "error", err.Error())
 		return 1
 	}
 	return 0

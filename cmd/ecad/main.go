@@ -6,7 +6,8 @@
 // Usage:
 //
 //	ecad -addr :8080 [-rule file.xml]... [-doc uri=file.xml]... \
-//	     [-datalog rules.dl] [-travel] [-distribute] [-metrics] [-v] \
+//	     [-datalog rules.dl] [-travel] [-distribute] [-metrics] [-pprof] [-v] \
+//	     [-log-level info] [-log-format text|json] \
 //	     [-retries N] [-breaker-failures N] [-breaker-cooldown 30s]
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the HTTP listener
@@ -26,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -58,7 +60,10 @@ type options struct {
 	loadTravel      bool
 	distribute      bool
 	metrics         bool
+	pprof           bool
 	verbose         bool
+	logLevel        string
+	logFormat       string
 	retries         int
 	breakerFailures int
 	breakerCooldown time.Duration
@@ -74,7 +79,10 @@ func main() {
 	flag.BoolVar(&o.loadTravel, "travel", false, "preload the car-rental running example")
 	flag.BoolVar(&o.distribute, "distribute", false, "route all component traffic over this daemon's HTTP endpoints")
 	flag.BoolVar(&o.metrics, "metrics", true, "expose /metrics and /debug/traces (observability hub)")
-	flag.BoolVar(&o.verbose, "v", false, "log engine evaluation traces")
+	flag.BoolVar(&o.pprof, "pprof", true, "expose runtime profiling under /debug/pprof/")
+	flag.BoolVar(&o.verbose, "v", false, "log engine evaluation traces (at debug level)")
+	flag.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
+	flag.StringVar(&o.logFormat, "log-format", "text", "structured log encoding: text or json")
 	flag.IntVar(&o.retries, "retries", 2, "GRH retries after the first attempt for idempotent dispatches (queries/tests; 0 disables)")
 	flag.IntVar(&o.breakerFailures, "breaker-failures", grh.DefaultBreakerPolicy.FailureThreshold, "consecutive endpoint failures that trip the GRH circuit breaker (0 disables)")
 	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", grh.DefaultBreakerPolicy.Cooldown, "how long an open circuit breaker sheds load before probing the endpoint again")
@@ -90,12 +98,26 @@ func main() {
 }
 
 func run(o options) error {
-	cfg := system.Config{Namespaces: travel.Namespaces()}
+	level, err := obs.ParseLevel(o.logLevel)
+	if err != nil {
+		return fmt.Errorf("-log-level: %w", err)
+	}
+	if o.verbose && level > slog.LevelDebug {
+		// -v means "show me the evaluation traces"; they are debug-level.
+		level = slog.LevelDebug
+	}
+	logger := obs.NewLogger(os.Stderr, o.logFormat, level)
+
+	cfg := system.Config{Namespaces: travel.Namespaces(), Log: logger, PProf: o.pprof}
 	if o.metrics {
 		cfg.Obs = obs.NewHub()
+		stop := obs.StartRuntimeSampler(cfg.Obs.Metrics(), obs.DefaultSampleInterval)
+		defer stop()
 	}
 	if o.verbose {
-		cfg.Logger = engine.LoggerFunc(log.Printf)
+		cfg.Logger = engine.LoggerFunc(func(format string, args ...any) {
+			logger.Debug(fmt.Sprintf(format, args...))
+		})
 	}
 	if o.retries > 0 {
 		cfg.Retry = grh.DefaultRetryPolicy
@@ -145,7 +167,7 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
-		log.Printf("registered %d language service(s) from %s", n, o.registry)
+		logger.Info("language services registered from ontology", "count", n, "file", o.registry)
 	}
 
 	var opaqueDoc *xmltree.Node
@@ -168,20 +190,23 @@ func run(o options) error {
 			serveErr <- err
 		}
 	}()
-	log.Printf("ecad listening on %s", base)
+	logger.Info("ecad listening", "addr", base)
 	if o.metrics {
-		log.Printf("observability on: %s/metrics %s/debug/traces %s/healthz", base, base, base)
+		logger.Info("observability on", "metrics", base+"/metrics", "traces", base+"/debug/traces", "healthz", base+"/healthz")
+	}
+	if o.pprof {
+		logger.Info("profiling on", "pprof", base+"/debug/pprof/")
 	}
 	if o.retries > 0 || o.breakerFailures > 0 {
-		log.Printf("resilience: retries=%d breaker-failures=%d breaker-cooldown=%s",
-			o.retries, o.breakerFailures, o.breakerCooldown)
+		logger.Info("resilience configured", "retries", o.retries,
+			"breaker_failures", o.breakerFailures, "breaker_cooldown", o.breakerCooldown.String())
 	}
 
 	if o.distribute {
 		if err := sys.Distribute(base); err != nil {
 			return err
 		}
-		log.Printf("component traffic routed through %s (distributed mode)", base)
+		logger.Info("distributed mode: component traffic routed over HTTP", "base", base)
 	}
 	if o.loadTravel {
 		rule, err := ruleml.ParseString(travel.RuleXML(base+"/opaque/store", base+"/opaque/xquery"))
@@ -191,7 +216,7 @@ func run(o options) error {
 		if err := sys.Engine.Register(rule); err != nil {
 			return err
 		}
-		log.Printf("registered rule %s (car-rental running example)", rule.ID)
+		logger.Info("rule registered", "rule", rule.ID, "source", "car-rental running example")
 	}
 	for _, file := range o.rules {
 		src, err := os.ReadFile(file)
@@ -205,7 +230,7 @@ func run(o options) error {
 		if err := sys.Engine.Register(rule); err != nil {
 			return fmt.Errorf("%s: %w", file, err)
 		}
-		log.Printf("registered rule %s from %s", rule.ID, file)
+		logger.Info("rule registered", "rule", rule.ID, "file", file)
 	}
 
 	// Serve until SIGINT/SIGTERM, then drain: stop accepting HTTP first,
@@ -217,13 +242,13 @@ func run(o options) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("ecad: signal received, shutting down")
+	logger.Info("signal received, shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("ecad: http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err.Error())
 	}
 	sys.Close()
-	log.Printf("ecad: drained, bye")
+	logger.Info("drained, bye")
 	return nil
 }

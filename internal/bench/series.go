@@ -73,7 +73,50 @@ func RunSeries(name string, w io.Writer) error {
 		fmt.Fprintf(w, "\nmetrics snapshot (series %s):\n", name)
 		w.Write(buf.Bytes())
 	}
+	writeStageLatencies(w, hub, name)
 	return nil
+}
+
+// writeStageLatencies prints per-stage latency percentiles for the series
+// from the engine_step_seconds histogram — the event/query/test/action
+// breakdown of where a rule instance spends its time. Series that never
+// drive the engine observe nothing and print nothing.
+func writeStageLatencies(w io.Writer, hub *obs.Hub, name string) {
+	vec := hub.Metrics().HistogramVec("engine_step_seconds", "Per-component evaluation latency by component kind.", nil, "kind")
+	type row struct {
+		kind     string
+		n        int64
+		p50, p95 float64
+	}
+	var rows []row
+	for _, kind := range []string{"event", "query", "test", "action"} {
+		h := vec.With(kind)
+		if h.Count() == 0 {
+			continue
+		}
+		rows = append(rows, row{kind, h.Count(), h.Quantile(0.5), h.Quantile(0.95)})
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nstage latencies (series %s):\nstage\tcount\tp50\tp95\n", name)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%s\t%s\n", r.kind, r.n, fmtSeconds(r.p50), fmtSeconds(r.p95))
+	}
+}
+
+// fmtSeconds renders a latency estimate with a unit fitting its scale.
+func fmtSeconds(s float64) string {
+	switch {
+	case s <= 0:
+		return "0"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
 }
 
 // measure runs f n times and returns ns/op.

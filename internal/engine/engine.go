@@ -50,6 +50,7 @@ type Engine struct {
 	analyzer ruleml.Analyzer
 	replyTo  string
 	log      Logger
+	slog     *obs.Logger
 	hub      *obs.Hub
 	tr       *obs.Recorder
 	met      metrics
@@ -71,6 +72,7 @@ type instanceJob struct {
 	rs  *RuleState
 	rel *bindings.Relation
 	tr  *obs.Instance
+	enq time.Time // when the job entered the queue, for the wait histogram
 }
 
 // metrics are the engine's observability instruments; all nil-safe, so an
@@ -82,6 +84,8 @@ type metrics struct {
 	actionRuns  *obs.Counter      // engine_action_runs_total
 	instanceSec *obs.Histogram    // engine_instance_seconds
 	stepSec     *obs.HistogramVec // engine_step_seconds{kind}
+	queueDepth  *obs.Gauge        // engine_queue_depth
+	queueWait   *obs.Histogram    // engine_queue_wait_seconds
 }
 
 func newMetrics(h *obs.Hub) metrics {
@@ -93,6 +97,8 @@ func newMetrics(h *obs.Hub) metrics {
 		actionRuns:  r.Counter("engine_action_runs_total", "Action component dispatches."),
 		instanceSec: r.Histogram("engine_instance_seconds", "End-to-end rule-instance evaluation latency (detection to last action).", nil),
 		stepSec:     r.HistogramVec("engine_step_seconds", "Per-component evaluation latency by component kind.", nil, "kind"),
+		queueDepth:  r.Gauge("engine_queue_depth", "Rule instances waiting in the worker-pool queue."),
+		queueWait:   r.Histogram("engine_queue_wait_seconds", "Time rule instances spend queued before a worker picks them up.", nil),
 	}
 }
 
@@ -118,6 +124,12 @@ func WithReplyTo(url string) Option { return func(e *Engine) { e.replyTo = url }
 // WithLogger installs an evaluation trace logger.
 func WithLogger(l Logger) Option { return func(e *Engine) { e.log = l } }
 
+// WithLog installs a structured logger: engine life-cycle events are
+// emitted as leveled records carrying trace_id and rule fields, alongside
+// (not replacing) the human-readable Logger traces the bench figures
+// replay. A nil logger is a no-op.
+func WithLog(l *obs.Logger) Option { return func(e *Engine) { e.slog = l } }
+
 // WithObs installs the observability hub: engine counters and histograms
 // go to its metrics registry, rule-instance spans to its trace recorder.
 func WithObs(h *obs.Hub) Option { return func(e *Engine) { e.hub = h } }
@@ -138,6 +150,8 @@ func WithWorkers(n int) Option {
 			go func() {
 				defer e.workers.Done()
 				for j := range e.jobs {
+					e.met.queueDepth.Set(float64(len(e.jobs)))
+					e.met.queueWait.Observe(obs.Since(j.enq))
 					e.runInstance(j.rs, j.rel, j.tr)
 					e.inFlight.Done()
 				}
@@ -250,6 +264,8 @@ func (e *Engine) Register(rule *ruleml.Rule) error {
 
 	e.logf("register rule %s: submitting event component %s (language %s) to GRH",
 		rule.ID, rule.Event.ID, orDefault(rule.Event.Language, "atomic"))
+	e.slog.Info("rule registered", obs.FieldRule, rule.ID,
+		obs.FieldComponent, rule.Event.ID, "language", orDefault(rule.Event.Language, "atomic"))
 	_, err := e.grh.Dispatch(protocol.RegisterEvent, grh.Component{
 		Rule:     rule.ID,
 		Comp:     rule.Event,
@@ -262,6 +278,7 @@ func (e *Engine) Register(rule *ruleml.Rule) error {
 		e.stats.RulesRegistered--
 		e.met.rules.Set(float64(len(e.rules)))
 		e.mu.Unlock()
+		e.slog.Error("rule registration failed", obs.FieldRule, rule.ID, "error", err.Error())
 		return fmt.Errorf("engine: registering event component of %s: %w", rule.ID, err)
 	}
 	return nil
@@ -321,8 +338,10 @@ func (e *Engine) OnDetection(a *protocol.Answer) {
 			}
 		}
 		for _, tuple := range tuples {
+			evStart := time.Now()
 			if !e.admitInstance() {
 				e.logf("rule %s: detection dropped: engine closed", a.RuleID)
+				e.slog.Warn("detection dropped", obs.FieldRule, a.RuleID, "reason", "closed")
 				return
 			}
 			e.met.instances.With("created").Inc()
@@ -333,13 +352,20 @@ func (e *Engine) OnDetection(a *protocol.Answer) {
 				Language:  rs.Rule.Event.Language,
 				Mode:      "detection",
 				TuplesOut: 1,
-				Start:     time.Now(),
+				Start:     evStart,
 			})
 			e.logf("rule %s: event %s detected, instance created with %s",
 				a.RuleID, a.Component, tuple)
+			e.slog.Info("rule instance created", obs.FieldTraceID, tr.ID(),
+				obs.FieldRule, a.RuleID, obs.FieldComponent, a.Component)
+			// The "event" step latency is the engine-side cost of turning
+			// one detected tuple into an admitted rule instance; the
+			// detection itself happened in the event service.
+			e.met.stepSec.With(string(ruleml.EventComponent)).Observe(obs.Since(evStart))
 			rel := bindings.NewRelation(tuple)
 			if e.jobs != nil {
-				e.jobs <- instanceJob{rs, rel, tr}
+				e.jobs <- instanceJob{rs, rel, tr, time.Now()}
+				e.met.queueDepth.Set(float64(len(e.jobs)))
 				continue
 			}
 			e.runInstance(rs, rel, tr)
@@ -352,6 +378,7 @@ func (e *Engine) OnDetection(a *protocol.Answer) {
 func (e *Engine) runInstance(rs *RuleState, rel *bindings.Relation, tr *obs.Instance) {
 	rule := rs.Rule
 	start := time.Now()
+	il := e.slog.With(obs.FieldTraceID, tr.ID(), obs.FieldRule, rule.ID)
 	for _, step := range rule.Steps {
 		sp := obs.Span{
 			Stage:     string(step.Kind),
@@ -364,23 +391,26 @@ func (e *Engine) runInstance(rs *RuleState, rel *bindings.Relation, tr *obs.Inst
 		if step.Kind == ruleml.TestComponent && e.isLocalTest(step) {
 			sp.Mode = "local"
 		}
-		next, err := e.evalStep(rule, step, rel)
+		next, err := e.evalStep(rule, step, rel, tr, &sp)
 		sp.Duration = time.Since(sp.Start)
 		e.met.stepSec.With(string(step.Kind)).Observe(sp.Duration.Seconds())
 		if err != nil {
 			sp.Err = err.Error()
 			tr.AddSpan(sp)
 			e.logf("rule %s: %s failed: %v — instance aborted", rule.ID, step.ID, err)
-			e.died(rs, tr, start)
+			il.Error("step failed", obs.FieldComponent, step.ID, "error", err.Error())
+			e.died(rs, tr, start, il)
 			return
 		}
 		rel = next
 		sp.TuplesOut = rel.Size()
 		tr.AddSpan(sp)
 		e.logf("rule %s: after %s: %d tuple(s)", rule.ID, step.ID, rel.Size())
+		il.Debug("step evaluated", obs.FieldComponent, step.ID,
+			"kind", string(step.Kind), "tuples", rel.Size())
 		if rel.Empty() {
 			e.logf("rule %s: relation empty after %s — instance eliminated", rule.ID, step.ID)
-			e.died(rs, tr, start)
+			e.died(rs, tr, start, il)
 			return
 		}
 	}
@@ -393,10 +423,11 @@ func (e *Engine) runInstance(rs *RuleState, rel *bindings.Relation, tr *obs.Inst
 			TuplesIn:  rel.Size(),
 			Start:     time.Now(),
 		}
-		_, err := e.grh.Dispatch(protocol.Action, grh.Component{
+		answer, err := e.grh.Dispatch(protocol.Action, grh.Component{
 			Rule:     rule.ID,
 			Comp:     action,
 			Bindings: rel,
+			Trace:    tr,
 		})
 		sp.Duration = time.Since(sp.Start)
 		e.met.stepSec.With(string(ruleml.ActionComponent)).Observe(sp.Duration.Seconds())
@@ -408,12 +439,15 @@ func (e *Engine) runInstance(rs *RuleState, rel *bindings.Relation, tr *obs.Inst
 			sp.Err = err.Error()
 			tr.AddSpan(sp)
 			e.logf("rule %s: action %s failed: %v", rule.ID, action.ID, err)
-			e.died(rs, tr, start)
+			il.Error("action failed", obs.FieldComponent, action.ID, "error", err.Error())
+			e.died(rs, tr, start, il)
 			return
 		}
 		sp.TuplesOut = rel.Size()
+		sp.Children = serverSpans(answer)
 		tr.AddSpan(sp)
 		e.logf("rule %s: action %s executed for %d tuple(s)", rule.ID, action.ID, rel.Size())
+		il.Debug("action executed", obs.FieldComponent, action.ID, "tuples", rel.Size())
 	}
 	e.mu.Lock()
 	rs.Firings++
@@ -422,9 +456,31 @@ func (e *Engine) runInstance(rs *RuleState, rel *bindings.Relation, tr *obs.Inst
 	e.met.instances.With("completed").Inc()
 	e.met.instanceSec.Observe(time.Since(start).Seconds())
 	tr.Finish("completed")
+	il.Info("rule instance completed", "seconds", time.Since(start).Seconds())
 }
 
-func (e *Engine) died(rs *RuleState, tr *obs.Instance, start time.Time) {
+// serverSpans converts the service-side trace piggybacked on an answer
+// (the log:trace element) into child spans of the client-side dispatch
+// span. Answers from services that do not emit log:trace yield nil.
+func serverSpans(a *protocol.Answer) []obs.Span {
+	if a == nil || len(a.Trace) == 0 {
+		return nil
+	}
+	out := make([]obs.Span, 0, len(a.Trace))
+	for _, s := range a.Trace {
+		out = append(out, obs.Span{
+			Stage:     s.Phase,
+			Mode:      "server",
+			TuplesIn:  s.TuplesIn,
+			TuplesOut: s.TuplesOut,
+			Start:     s.Start,
+			Duration:  s.Duration,
+		})
+	}
+	return out
+}
+
+func (e *Engine) died(rs *RuleState, tr *obs.Instance, start time.Time, il *obs.Logger) {
 	e.mu.Lock()
 	rs.Died++
 	e.stats.InstancesDied++
@@ -432,11 +488,14 @@ func (e *Engine) died(rs *RuleState, tr *obs.Instance, start time.Time) {
 	e.met.instances.With("died").Inc()
 	e.met.instanceSec.Observe(time.Since(start).Seconds())
 	tr.Finish("died")
+	il.Info("rule instance died", "seconds", time.Since(start).Seconds())
 }
 
 // evalStep evaluates one query or test component against the instance
-// relation.
-func (e *Engine) evalStep(rule *ruleml.Rule, step ruleml.Component, rel *bindings.Relation) (*bindings.Relation, error) {
+// relation. tr rides along on the dispatch so the GRH can propagate the
+// instance's trace context to remote services; when the service answers
+// with its own phase spans, they are stitched into sp as children.
+func (e *Engine) evalStep(rule *ruleml.Rule, step ruleml.Component, rel *bindings.Relation, tr *obs.Instance, sp *obs.Span) (*bindings.Relation, error) {
 	if step.Kind == ruleml.TestComponent && e.isLocalTest(step) {
 		// Section 4.5: the test component is in general evaluated locally.
 		return services.EvalTest(step.Text, rel)
@@ -457,10 +516,12 @@ func (e *Engine) evalStep(rule *ruleml.Rule, step ruleml.Component, rel *binding
 		Rule:     rule.ID,
 		Comp:     step,
 		Bindings: input,
+		Trace:    tr,
 	})
 	if err != nil {
 		return nil, err
 	}
+	sp.Children = serverSpans(answer)
 	if step.Variable != "" {
 		// <eca:variable>: each functional result yields a separate
 		// binding of the variable, Cartesian with the matching input

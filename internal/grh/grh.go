@@ -83,6 +83,7 @@ type GRH struct {
 	timeout  time.Duration
 	trace    TraceFunc
 	met      metrics
+	log      *obs.Logger
 
 	retry    RetryPolicy
 	breakers *breakerSet // nil: circuit breaking disabled
@@ -136,6 +137,10 @@ func WithClient(c *http.Client) Option { return func(g *GRH) { g.client = c } }
 
 // WithObs installs the observability hub the GRH reports metrics to.
 func WithObs(h *obs.Hub) Option { return func(g *GRH) { g.met = newMetrics(h) } }
+
+// WithLog installs the structured logger dispatch failures, retries and
+// breaker transitions are reported to (nil-safe: a nil logger discards).
+func WithLog(l *obs.Logger) Option { return func(g *GRH) { g.log = l } }
 
 // WithRetry enables retry with exponential backoff for idempotent
 // dispatches (queries and tests). A policy with MaxAttempts ≤ 1 keeps
@@ -281,6 +286,11 @@ type Component struct {
 	// ReplyTo is the detection callback URL for event registrations
 	// handled by remote services.
 	ReplyTo string
+	// Trace is the live rule-instance trace this dispatch belongs to;
+	// its id travels in the X-ECA-Trace-Id header of every outbound HTTP
+	// request so services can report correlated server-side spans. Nil
+	// (untraced) is always valid.
+	Trace *obs.Instance
 }
 
 // Dispatch evaluates a component request and returns the service's answer.
@@ -327,6 +337,9 @@ func (g *GRH) Dispatch(kind protocol.RequestKind, c Component) (*protocol.Answer
 			return g.opaqueMediate(kind, c)
 		}
 		g.met.errors.With("resolve").Inc()
+		g.log.Error("grh dispatch failed", "reason", "resolve",
+			obs.FieldTraceID, c.Trace.ID(), obs.FieldRule, c.Rule,
+			obs.FieldComponent, c.Comp.ID, "error", err.Error())
 		return nil, err
 	}
 	if !d.FrameworkAware {
@@ -344,12 +357,15 @@ func (g *GRH) Dispatch(kind protocol.RequestKind, c Component) (*protocol.Answer
 		a, err := d.Local.Handle(req)
 		if err != nil {
 			g.met.errors.With("service").Inc()
+			g.log.Error("grh dispatch failed", "reason", "service",
+				obs.FieldTraceID, c.Trace.ID(), obs.FieldRule, c.Rule,
+				obs.FieldComponent, c.Comp.ID, "service", d.name(), "error", err.Error())
 			return nil, fmt.Errorf("grh: %s: %w", d.name(), err)
 		}
 		g.emitTrace("←", d.name(), protocol.EncodeAnswers(a))
 		return a, nil
 	}
-	return g.httpDispatch(d, req)
+	return g.httpDispatch(d, req, c.Trace.ID())
 }
 
 // langLabel collapses the empty language (bare domain-level components
@@ -401,14 +417,39 @@ func kindAllowed(d *Descriptor, k ruleml.ComponentKind) bool {
 	return false
 }
 
+// setTraceHeaders stamps the trace-context propagation headers on an
+// outbound service request; an empty trace id (untraced dispatch) stamps
+// nothing.
+func setTraceHeaders(hr *http.Request, traceID, parentSpan string) {
+	if traceID == "" {
+		return
+	}
+	hr.Header.Set(protocol.TraceIDHeader, traceID)
+	if parentSpan != "" {
+		hr.Header.Set(protocol.ParentSpanHeader, parentSpan)
+	}
+}
+
 // httpDispatch POSTs the request envelope to a framework-aware remote
 // service and decodes the log:answers response, with breaker admission
-// and retry for idempotent request kinds (see exchange).
-func (g *GRH) httpDispatch(d *Descriptor, req *protocol.Request) (*protocol.Answer, error) {
+// and retry for idempotent request kinds (see exchange). The dispatch
+// carries the rule instance's trace context in the X-ECA-Trace-Id /
+// X-ECA-Parent-Span headers; a trace-aware service answers with a
+// log:trace element whose server-side spans are passed up to the caller
+// for stitching — but only when its echoed traceId matches the id this
+// dispatch propagated, so a confused or caching service can never
+// pollute another instance's trace.
+func (g *GRH) httpDispatch(d *Descriptor, req *protocol.Request, traceID string) (*protocol.Answer, error) {
 	payload := protocol.EncodeRequest(req)
 	g.emitTrace("→", d.name(), payload)
-	body, err := g.exchange(req.Kind, "POST", d.Endpoint, func(c *http.Client) (*http.Response, error) {
-		return c.Post(d.Endpoint, "application/xml", strings.NewReader(payload.String()))
+	body, err := g.exchange(req.Kind, "POST", d.Endpoint, traceID, func(c *http.Client) (*http.Response, error) {
+		hr, err := http.NewRequest(http.MethodPost, d.Endpoint, strings.NewReader(payload.String()))
+		if err != nil {
+			return nil, err
+		}
+		hr.Header.Set("Content-Type", "application/xml")
+		setTraceHeaders(hr, traceID, req.Component)
+		return c.Do(hr)
 	})
 	if err != nil {
 		return nil, err
@@ -422,6 +463,9 @@ func (g *GRH) httpDispatch(d *Descriptor, req *protocol.Request) (*protocol.Answ
 	if err != nil {
 		g.met.errors.With("decode").Inc()
 		return nil, fmt.Errorf("grh: %s: %w", d.Endpoint, err)
+	}
+	if a.TraceID != traceID {
+		a.Trace, a.TraceID, a.TraceParent = nil, "", ""
 	}
 	g.emitTrace("←", d.name(), doc)
 	return a, nil
@@ -459,8 +503,13 @@ func (g *GRH) opaqueMediateVia(kind protocol.RequestKind, c Component, endpoint 
 			u += "?query=" + url.QueryEscape(q)
 		}
 		g.emitTrace("→", endpoint, traceGet(u, q))
-		body, err := g.exchange(kind, "GET", endpoint, func(c *http.Client) (*http.Response, error) {
-			return c.Get(u)
+		body, err := g.exchange(kind, "GET", endpoint, c.Trace.ID(), func(cl *http.Client) (*http.Response, error) {
+			hr, err := http.NewRequest(http.MethodGet, u, nil)
+			if err != nil {
+				return nil, err
+			}
+			setTraceHeaders(hr, c.Trace.ID(), c.Comp.ID)
+			return cl.Do(hr)
 		})
 		if err != nil {
 			return nil, err

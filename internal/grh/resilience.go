@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -231,6 +232,7 @@ func (g *GRH) reportOutcome(endpoint string, success bool) {
 	g.met.breakerState.With(endpoint).Set(float64(state))
 	if tripped {
 		g.met.breakerOpen.With(endpoint).Inc()
+		g.log.Warn("circuit breaker opened", obs.FieldEndpoint, endpoint)
 	}
 }
 
@@ -241,13 +243,15 @@ func (g *GRH) reportOutcome(endpoint string, success bool) {
 // Timeouts, transport errors and 5xx statuses are retryable and count
 // against the breaker; 4xx statuses and undecodable bodies mean the
 // service is up and answering, so they do neither.
-func (g *GRH) exchange(kind protocol.RequestKind, verb, endpoint string, do func(c *http.Client) (*http.Response, error)) ([]byte, error) {
+func (g *GRH) exchange(kind protocol.RequestKind, verb, endpoint, traceID string, do func(c *http.Client) (*http.Response, error)) ([]byte, error) {
 	attempts := 1
 	if g.retry.Enabled() && retryableKind(kind) {
 		attempts = g.retry.MaxAttempts
 	}
 	for attempt := 0; ; attempt++ {
 		if err := g.admit(endpoint); err != nil {
+			g.log.Warn("dispatch shed by open circuit", obs.FieldEndpoint, endpoint,
+				obs.FieldTraceID, traceID, "kind", string(kind))
 			return nil, err
 		}
 		retryAfter := func() bool {
@@ -255,6 +259,8 @@ func (g *GRH) exchange(kind protocol.RequestKind, verb, endpoint string, do func
 				return false
 			}
 			g.met.retries.With(string(kind)).Inc()
+			g.log.Warn("dispatch retry", obs.FieldEndpoint, endpoint,
+				obs.FieldTraceID, traceID, "kind", string(kind), "attempt", attempt+1)
 			g.sleep(g.retry.backoff(attempt))
 			return true
 		}
@@ -265,6 +271,8 @@ func (g *GRH) exchange(kind protocol.RequestKind, verb, endpoint string, do func
 			if retryAfter() {
 				continue
 			}
+			g.log.Error("dispatch failed", obs.FieldEndpoint, endpoint,
+				obs.FieldTraceID, traceID, "kind", string(kind), "error", err.Error())
 			return nil, fmt.Errorf("grh: %s %s: %w", verb, endpoint, err)
 		}
 		body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxResponseBody))
@@ -284,6 +292,8 @@ func (g *GRH) exchange(kind protocol.RequestKind, verb, endpoint string, do func
 			if serverFault && retryAfter() {
 				continue
 			}
+			g.log.Error("dispatch failed", obs.FieldEndpoint, endpoint,
+				obs.FieldTraceID, traceID, "kind", string(kind), "status", resp.StatusCode)
 			return nil, fmt.Errorf("grh: %s: HTTP %d: %s", endpoint, resp.StatusCode, truncate(string(body), 300))
 		}
 		g.reportOutcome(endpoint, true)

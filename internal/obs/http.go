@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
 )
 
 // MetricsHandler serves the registry in Prometheus text exposition format
@@ -22,12 +23,31 @@ type tracesResponse struct {
 }
 
 // TracesHandler dumps the retained rule-instance traces as JSON (the
-// /debug/traces endpoint). Supports ?rule=<id> to filter by rule and
-// ?state=<running|completed|died> to filter by life-cycle state.
+// /debug/traces endpoint). Query parameters:
+//
+//	?id=<rule#n>   single-trace lookup by instance id (404 when evicted
+//	               or unknown), the stitched client+server view of one
+//	               rule instance
+//	?rule=<id>     filter by rule
+//	?state=<s>     filter by life-cycle state (running|completed|died)
+//	?limit=<n>     return at most n instances, newest first
+//	?pretty=1      indent the JSON (compact by default — trace dumps are
+//	               a hot scrape path)
 func (h *Hub) TracesHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		rule := r.URL.Query().Get("rule")
-		state := r.URL.Query().Get("state")
+		q := r.URL.Query()
+		pretty := q.Get("pretty") == "1"
+		if id := q.Get("id"); id != "" {
+			t, ok := h.Traces().Lookup(id)
+			if !ok {
+				http.Error(w, "no retained trace with id "+id, http.StatusNotFound)
+				return
+			}
+			writeJSON(w, t, pretty)
+			return
+		}
+		rule := q.Get("rule")
+		state := q.Get("state")
 		all := h.Traces().Snapshot()
 		kept := make([]InstanceTrace, 0, len(all))
 		for _, t := range all {
@@ -39,13 +59,33 @@ func (h *Hub) TracesHandler() http.Handler {
 			}
 			kept = append(kept, t)
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(tracesResponse{
+		if lim := q.Get("limit"); lim != "" {
+			n, err := strconv.Atoi(lim)
+			if err != nil || n < 0 {
+				http.Error(w, "limit wants a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			// Newest first, truncated to n.
+			for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
+				kept[i], kept[j] = kept[j], kept[i]
+			}
+			if n < len(kept) {
+				kept = kept[:n]
+			}
+		}
+		writeJSON(w, tracesResponse{
 			Capacity:  h.Traces().Capacity(),
 			Recorded:  h.Traces().Recorded(),
 			Instances: kept,
-		})
+		}, pretty)
 	})
+}
+
+func writeJSON(w http.ResponseWriter, v any, pretty bool) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if pretty {
+		enc.SetIndent("", "  ")
+	}
+	enc.Encode(v)
 }

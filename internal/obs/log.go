@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Canonical structured-log field names. Every log line emitted by the
+// engine, the GRH and the component services uses these keys, so one
+// trace_id query over the logs yields the full story of a rule instance
+// across processes.
+const (
+	FieldTraceID   = "trace_id"  // rule-instance id, "<rule>#<n>"
+	FieldRule      = "rule"      // rule id
+	FieldComponent = "component" // component id within the rule, "query[2]"
+	FieldEndpoint  = "endpoint"  // remote service endpoint URL
+)
+
+// Logger is the structured logger of the observability subsystem, a thin
+// nil-safe wrapper around log/slog. A nil *Logger discards everything, so
+// instrumented packages hold one unconditionally and never branch on
+// "is logging enabled".
+type Logger struct {
+	s *slog.Logger
+}
+
+// ParseLevel parses a -log-level flag value (debug, info, warn, error;
+// case-insensitive, slog's "INFO+2" offsets also accepted).
+func ParseLevel(s string) (slog.Level, error) {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("obs: bad log level %q (want debug|info|warn|error)", s)
+	}
+	return l, nil
+}
+
+// NewLogger builds a leveled structured logger writing to w. Format is
+// "json" for one JSON object per line or anything else (conventionally
+// "text") for slog's key=value text handler.
+func NewLogger(w io.Writer, format string, level slog.Level) *Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return &Logger{s: slog.New(h)}
+}
+
+// FromSlog wraps an existing slog logger; nil yields the discard logger.
+func FromSlog(s *slog.Logger) *Logger {
+	if s == nil {
+		return nil
+	}
+	return &Logger{s: s}
+}
+
+// Slog returns the underlying slog logger (nil for the discard logger).
+func (l *Logger) Slog() *slog.Logger {
+	if l == nil {
+		return nil
+	}
+	return l.s
+}
+
+// With returns a logger that adds the given key/value pairs to every
+// record, e.g. With(obs.FieldTraceID, id, obs.FieldRule, rule) for an
+// instance-scoped logger. Nil-safe.
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{s: l.s.With(args...)}
+}
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, args ...any) {
+	if l != nil {
+		l.s.Debug(msg, args...)
+	}
+}
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, args ...any) {
+	if l != nil {
+		l.s.Info(msg, args...)
+	}
+}
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, args ...any) {
+	if l != nil {
+		l.s.Warn(msg, args...)
+	}
+}
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, args ...any) {
+	if l != nil {
+		l.s.Error(msg, args...)
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLoggerJSONCarriesFields(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, "json", slog.LevelInfo)
+	lg.With(FieldTraceID, "rule#7", FieldRule, "rule").
+		Info("step evaluated", FieldComponent, "query[1]", "tuples", 3)
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	want := map[string]any{
+		"msg":          "step evaluated",
+		"level":        "INFO",
+		FieldTraceID:   "rule#7",
+		FieldRule:      "rule",
+		FieldComponent: "query[1]",
+	}
+	for k, v := range want {
+		if rec[k] != v {
+			t.Errorf("record[%q] = %v, want %v", k, rec[k], v)
+		}
+	}
+	if rec["tuples"] != float64(3) {
+		t.Errorf("record[tuples] = %v, want 3", rec["tuples"])
+	}
+}
+
+func TestLoggerTextFormatAndLevels(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, "text", slog.LevelWarn)
+	lg.Debug("hidden")
+	lg.Info("hidden too")
+	lg.Warn("kept", FieldEndpoint, "http://svc")
+	lg.Error("kept too")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("below-level records leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "kept") || !strings.Contains(out, "endpoint=http://svc") {
+		t.Errorf("missing warn record:\n%s", out)
+	}
+	if !strings.Contains(out, "kept too") {
+		t.Errorf("missing error record:\n%s", out)
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var lg *Logger
+	lg.Debug("x")
+	lg.Info("x")
+	lg.Warn("x")
+	lg.Error("x", "k", "v")
+	if got := lg.With("k", "v"); got != nil {
+		t.Errorf("nil.With = %v, want nil", got)
+	}
+	if lg.Slog() != nil {
+		t.Error("nil.Slog() should be nil")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("shouting"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates a Prometheus text exposition (format 0.0.4)
+// line by line: well-formed HELP/TYPE comments, valid metric and label
+// names, properly quoted and escaped label values, parseable sample
+// values, and TYPE declared before the family's samples. It returns the
+// first violation found, or nil for a clean scrape. The CI integration
+// test and the registry regression tests use it to prove /metrics stays
+// machine-parseable even with hostile label values.
+func LintExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	typed := map[string]string{} // family name → declared type
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := lintComment(line, typed); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := lintSample(line, typed); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("exposition read: %w", err)
+	}
+	return nil
+}
+
+func lintComment(line string, typed map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+		if len(fields) == 4 {
+			if err := checkEscapes(fields[3], false); err != nil {
+				return fmt.Errorf("HELP text for %s: %w", fields[2], err)
+			}
+		}
+	case "TYPE":
+		if len(fields) != 4 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", fields[3], fields[2])
+		}
+		if _, dup := typed[fields[2]]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", fields[2])
+		}
+		typed[fields[2]] = fields[3]
+	}
+	return nil
+}
+
+func lintSample(line string, typed map[string]string) error {
+	name, rest := splitName(line)
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name in %q", line)
+	}
+	if fam, ok := baseFamily(name, typed); ok {
+		_ = fam // TYPE was declared before this sample, as required
+	}
+	if strings.HasPrefix(rest, "{") {
+		var err error
+		rest, err = lintLabels(rest)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	rest = strings.TrimLeft(rest, " ")
+	parts := strings.Fields(rest)
+	if len(parts) < 1 || len(parts) > 2 {
+		return fmt.Errorf("%s: expected value [timestamp], got %q", name, rest)
+	}
+	if !validSampleValue(parts[0]) {
+		return fmt.Errorf("%s: unparseable sample value %q", name, parts[0])
+	}
+	if len(parts) == 2 {
+		if _, err := strconv.ParseInt(parts[1], 10, 64); err != nil {
+			return fmt.Errorf("%s: bad timestamp %q", name, parts[1])
+		}
+	}
+	return nil
+}
+
+// lintLabels consumes a {name="value",...} section and returns the rest
+// of the line, enforcing quoting, escape sequences and unique label names.
+func lintLabels(s string) (rest string, err error) {
+	s = s[1:] // consume '{'
+	seen := map[string]bool{}
+	for {
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, "}") {
+			return s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return "", fmt.Errorf("unterminated label section")
+		}
+		lname := strings.TrimSpace(s[:eq])
+		if !validLabelName(lname) {
+			return "", fmt.Errorf("invalid label name %q", lname)
+		}
+		if seen[lname] {
+			return "", fmt.Errorf("duplicate label %q", lname)
+		}
+		seen[lname] = true
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return "", fmt.Errorf("label %s: value not quoted", lname)
+		}
+		val, remainder, ok := scanQuoted(s)
+		if !ok {
+			return "", fmt.Errorf("label %s: unterminated quoted value", lname)
+		}
+		if err := checkEscapes(val, true); err != nil {
+			return "", fmt.Errorf("label %s: %w", lname, err)
+		}
+		s = remainder
+		s = strings.TrimLeft(s, " ")
+		switch {
+		case strings.HasPrefix(s, ","):
+			s = s[1:]
+		case strings.HasPrefix(s, "}"):
+		default:
+			return "", fmt.Errorf("label %s: expected , or } after value", lname)
+		}
+	}
+}
+
+// scanQuoted consumes a double-quoted section honoring backslash escapes;
+// it returns the raw (still-escaped) content and the remainder.
+func scanQuoted(s string) (val, rest string, ok bool) {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++ // skip escaped char (validity checked by checkEscapes)
+		case '"':
+			return s[1:i], s[i+1:], true
+		case '\n':
+			return "", "", false
+		}
+	}
+	return "", "", false
+}
+
+// checkEscapes verifies that raw escaped text uses only the escape
+// sequences the format allows (\\ and \n everywhere, plus \" in label
+// values) and contains no raw newline or — for label values — raw quote.
+func checkEscapes(s string, labelValue bool) error {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\n':
+			return fmt.Errorf("raw newline in %q", s)
+		case '"':
+			if labelValue {
+				return fmt.Errorf("unescaped quote in %q", s)
+			}
+		case '\\':
+			if i+1 >= len(s) {
+				return fmt.Errorf("trailing backslash in %q", s)
+			}
+			i++
+			switch s[i] {
+			case '\\', 'n':
+			case '"':
+				if !labelValue {
+					return fmt.Errorf(`\" escape outside a label value in %q`, s)
+				}
+			default:
+				return fmt.Errorf("invalid escape \\%c in %q", s[i], s)
+			}
+		}
+	}
+	return nil
+}
+
+// splitName splits a sample line at the end of the metric name.
+func splitName(line string) (name, rest string) {
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c == '{' || c == ' ' {
+			return line[:i], line[i:]
+		}
+	}
+	return line, ""
+}
+
+// baseFamily resolves a sample name to its declared family, stripping the
+// histogram/summary suffixes.
+func baseFamily(name string, typed map[string]string) (string, bool) {
+	if _, ok := typed[name]; ok {
+		return name, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if _, ok := typed[base]; ok {
+				return base, true
+			}
+		}
+	}
+	return "", false
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validSampleValue(s string) bool {
+	switch s {
+	case "NaN", "+Inf", "-Inf", "Inf":
+		return true
+	}
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLintExpositionAccepts(t *testing.T) {
+	good := strings.Join([]string{
+		`# HELP x_total A counter.`,
+		`# TYPE x_total counter`,
+		`x_total 7`,
+		`# TYPE lat_seconds histogram`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_sum 0.42`,
+		`lat_seconds_count 5`,
+		`g{a="x",b="y y"} -1.5e3`,
+		`ts_metric 1 1700000000000`,
+		`nan_metric NaN`,
+		`esc{v="a\\b\"c\nd"} 1`,
+		``,
+	}, "\n")
+	if err := LintExposition(strings.NewReader(good)); err != nil {
+		t.Errorf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestLintExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad metric name":   `1bad 7`,
+		"bad label name":    `m{1x="v"} 7`,
+		"unquoted value":    `m{a=v} 7`,
+		"unterminated":      `m{a="v} 7`,
+		"duplicate label":   `m{a="1",a="2"} 7`,
+		"raw quote":         `m{a="x"y"} 7`,
+		"invalid escape":    `m{a="x\t"} 7`,
+		"trailing slash":    `m{a="x\"} 7`,
+		"no value":          `m{a="v"}`,
+		"garbage value":     `m seven`,
+		"bad timestamp":     `m 7 soon`,
+		"unknown type":      "# TYPE m speedometer",
+		"duplicate TYPE":    "# TYPE m counter\n# TYPE m gauge",
+		"malformed TYPE":    "# TYPE m",
+		"help bad name":     "# HELP 1bad text",
+		"missing separator": `m{a="v" b="w"} 7`,
+	}
+	for name, in := range cases {
+		if err := LintExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: lint accepted %q", name, in)
+		}
+	}
+}
+
+// TestRegistryExpositionEscapingRegression is the label-escaping
+// regression test: a registry fed hostile label values (quotes,
+// backslashes, newlines) must emit an exposition every line of which is
+// machine-parseable, with the hostile values escaped exactly as the
+// format prescribes.
+func TestRegistryExpositionEscapingRegression(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("hostile_total", `help with "quotes" and \slashes`, "v").
+		With("quote\"backslash\\newline\nend").Inc()
+	r.GaugeVec("hostile_gauge", "", "a", "b").With("plain", "").Set(2)
+	r.HistogramVec("hostile_seconds", "", []float64{0.1}, "v").With(`x"y`).Observe(0.05)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	exposition := buf.String()
+
+	if err := LintExposition(strings.NewReader(exposition)); err != nil {
+		t.Fatalf("registry exposition fails lint: %v\n%s", err, exposition)
+	}
+
+	// Line-by-line: the hostile sample lines must carry the exact escape
+	// sequences, and every line must be comment, blank, or name{...} value.
+	wantLines := []string{
+		`hostile_total{v="quote\"backslash\\newline\nend"} 1`,
+		`hostile_gauge{a="plain",b=""} 2`,
+		`hostile_seconds_bucket{v="x\"y",le="0.1"} 1`,
+		`hostile_seconds_bucket{v="x\"y",le="+Inf"} 1`,
+		`hostile_seconds_count{v="x\"y"} 1`,
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(exposition, want+"\n") {
+			t.Errorf("exposition missing line %q\ngot:\n%s", want, exposition)
+		}
+	}
+	for i, line := range strings.Split(exposition, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.ContainsAny(line, "\r") || strings.Count(line, " ") < 1 {
+			t.Errorf("line %d not of the form name value: %q", i+1, line)
+		}
+	}
+}

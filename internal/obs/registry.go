@@ -251,6 +251,48 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// distribution from the bucket counts, interpolating linearly within the
+// containing bucket. Observations in the +Inf overflow bucket are clamped
+// to the largest finite bound. Returns 0 for an empty histogram — an
+// estimate for dashboards and bench summaries, not an exact statistic.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, b := range h.bounds {
+		n := float64(h.counts[i].Load())
+		if cum+n >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if n == 0 {
+				return b
+			}
+			frac := (rank - cum) / n
+			return lo + (b-lo)*frac
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // BucketCounts returns the per-bucket (non-cumulative) counts, the last
 // entry being the +Inf overflow bucket.
 func (h *Histogram) BucketCounts() []int64 {

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// DefaultSampleInterval is how often StartRuntimeSampler reads the Go
+// runtime when no interval is given.
+const DefaultSampleInterval = 10 * time.Second
+
+// StartRuntimeSampler spawns a background goroutine that periodically
+// feeds Go runtime gauges into the registry:
+//
+//	go_goroutines              current goroutine count
+//	go_heap_inuse_bytes        bytes in in-use heap spans
+//	go_heap_objects            live objects on the heap
+//	go_gc_pause_seconds_total  cumulative stop-the-world pause time
+//	go_gcs_total               completed GC cycles
+//
+// One sample is taken immediately so a scrape right after startup is
+// never empty. The returned stop function halts the sampler and is safe
+// to call more than once; a nil registry yields a no-op stop.
+func StartRuntimeSampler(r *Registry, interval time.Duration) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	goroutines := r.Gauge("go_goroutines", "Current number of goroutines.")
+	heapInuse := r.Gauge("go_heap_inuse_bytes", "Bytes in in-use heap spans.")
+	heapObjects := r.Gauge("go_heap_objects", "Live objects on the heap.")
+	gcPause := r.Gauge("go_gc_pause_seconds_total", "Cumulative garbage-collection stop-the-world pause time in seconds.")
+	gcs := r.Gauge("go_gcs_total", "Completed garbage-collection cycles.")
+
+	sample := func() {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapInuse.Set(float64(m.HeapInuse))
+		heapObjects.Set(float64(m.HeapObjects))
+		gcPause.Set(float64(m.PauseTotalNs) / 1e9)
+		gcs.Set(float64(m.NumGC))
+	}
+	sample()
+
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+	var stopped bool
+	return func() {
+		if !stopped {
+			stopped = true
+			close(done)
+		}
+	}
+}

@@ -30,6 +30,13 @@ type Span struct {
 	Duration time.Duration `json:"duration_ns"`
 	// Err is the failure that aborted the instance, if any.
 	Err string `json:"error,omitempty"`
+	// Children are the server-side spans a framework-aware service
+	// reported for this dispatch via the log:trace answer-markup
+	// extension (mode "server": request parse, expression evaluation,
+	// answer encoding), stitched under the GRH client span that carried
+	// the X-ECA-Trace-Id header. Empty for local steps and for services
+	// that do not implement the extension.
+	Children []Span `json:"children,omitempty"`
 }
 
 // InstanceTrace is the recorded life cycle of one rule instance. It is a
@@ -154,6 +161,27 @@ func (r *Recorder) Capacity() int {
 		return 0
 	}
 	return r.cap
+}
+
+// Lookup returns a deep copy of the retained trace with the given
+// instance id ("<rule>#<n>"), the /debug/traces?id= fast path.
+func (r *Recorder) Lookup(id string) (InstanceTrace, bool) {
+	if r == nil || id == "" {
+		return InstanceTrace{}, false
+	}
+	r.mu.Lock()
+	var found *Instance
+	for _, i := range r.buf {
+		if i.ID() == id {
+			found = i
+			break
+		}
+	}
+	r.mu.Unlock()
+	if found == nil {
+		return InstanceTrace{}, false
+	}
+	return found.snapshot(), true
 }
 
 // Snapshot returns deep copies of the retained traces, oldest first.

@@ -8,6 +8,7 @@ package protocol
 import (
 	"fmt"
 	"strconv"
+	"time"
 
 	"repro/internal/bindings"
 	"repro/internal/xmltree"
@@ -23,6 +24,19 @@ const (
 	// LogNS is the namespace of answer markup: log:answers, log:answer,
 	// log:variable and log:result.
 	LogNS = "http://www.semwebtech.org/languages/2006/logic-ml"
+)
+
+// Trace-context propagation headers. The GRH stamps both on every
+// outbound HTTP dispatch; framework-aware service handlers echo them in
+// the optional <log:trace> element of their answer so the client can
+// stitch server-side spans under the dispatch's client span. Services
+// that ignore the headers remain fully protocol-conformant.
+const (
+	// TraceIDHeader carries the rule-instance id ("<rule>#<n>").
+	TraceIDHeader = "X-ECA-Trace-Id"
+	// ParentSpanHeader carries the client-side span the dispatch belongs
+	// to — the component id within the rule, e.g. "query[2]".
+	ParentSpanHeader = "X-ECA-Parent-Span"
 )
 
 // RequestKind enumerates the request envelopes the GRH sends to services.
@@ -70,6 +84,26 @@ type AnswerRow struct {
 	Results []bindings.Value
 }
 
+// TraceSpan is one server-side timing phase a framework-aware service
+// reports back in the optional <log:trace> element of its answer: how
+// long the service spent parsing the request, evaluating the component
+// expression and encoding the answer markup, with the binding-relation
+// sizes it saw. Older clients ignore the element; older services simply
+// never send it.
+type TraceSpan struct {
+	// Phase is "parse", "evaluate" or "encode".
+	Phase string
+	// Start is when the phase began (optional; zero when the service
+	// chose not to report wall-clock times).
+	Start time.Time
+	// Duration is the phase's elapsed time.
+	Duration time.Duration
+	// TuplesIn / TuplesOut are the binding-relation sizes around the
+	// phase (0 where not meaningful, e.g. TuplesOut of "parse").
+	TuplesIn  int
+	TuplesOut int
+}
+
 // Answer is the envelope a service returns (or posts asynchronously, for
 // event detection): the produced tuples of variable bindings, and for
 // functional-style services the per-tuple results to be bound by the
@@ -79,6 +113,16 @@ type Answer struct {
 	Component string
 	// Rows holds one row per <log:answer> element, in message order.
 	Rows []AnswerRow
+
+	// TraceID echoes the X-ECA-Trace-Id the service received with the
+	// request; set only when the answer carries a <log:trace> element.
+	TraceID string
+	// TraceParent echoes the X-ECA-Parent-Span header (the client-side
+	// component span the server spans nest under).
+	TraceParent string
+	// Trace holds the server-side spans of the optional <log:trace>
+	// answer-markup extension, in phase order.
+	Trace []TraceSpan
 }
 
 // NewAnswer builds an answer whose rows are the tuples of rel (results
@@ -196,6 +240,9 @@ func EncodeAnswers(a *Answer) *xmltree.Node {
 	if a.Component != "" {
 		root.SetAttr("", "component", a.Component)
 	}
+	if len(a.Trace) > 0 {
+		root.Append(EncodeTraceElement(a.TraceID, a.TraceParent, a.Trace))
+	}
 	for _, row := range a.Rows {
 		ans := xmltree.NewElement(LogNS, "answer")
 		for _, name := range row.Tuple.Vars() {
@@ -222,6 +269,63 @@ func EncodeAnswers(a *Answer) *xmltree.Node {
 	return root
 }
 
+// EncodeTraceElement renders the optional <log:trace> extension, used
+// both by EncodeAnswers and by service handlers that append the element
+// to an already-encoded answer:
+//
+//	<log:trace traceId="travel#7" parent="query[1]">
+//	  <log:span phase="parse" start="…" duration-ns="8300" tuples-in="2"/>
+//	  <log:span phase="evaluate" duration-ns="412000" tuples-in="2" tuples-out="4"/>
+//	  <log:span phase="encode" duration-ns="5100" tuples-out="4"/>
+//	</log:trace>
+func EncodeTraceElement(traceID, parent string, spans []TraceSpan) *xmltree.Node {
+	tr := xmltree.NewElement(LogNS, "trace")
+	if traceID != "" {
+		tr.SetAttr("", "traceId", traceID)
+	}
+	if parent != "" {
+		tr.SetAttr("", "parent", parent)
+	}
+	for _, s := range spans {
+		sp := xmltree.NewElement(LogNS, "span")
+		sp.SetAttr("", "phase", s.Phase)
+		if !s.Start.IsZero() {
+			sp.SetAttr("", "start", s.Start.UTC().Format(time.RFC3339Nano))
+		}
+		sp.SetAttr("", "duration-ns", strconv.FormatInt(s.Duration.Nanoseconds(), 10))
+		if s.TuplesIn > 0 {
+			sp.SetAttr("", "tuples-in", strconv.Itoa(s.TuplesIn))
+		}
+		if s.TuplesOut > 0 {
+			sp.SetAttr("", "tuples-out", strconv.Itoa(s.TuplesOut))
+		}
+		tr.Append(sp)
+	}
+	return tr
+}
+
+// decodeTrace parses a <log:trace> element. It is deliberately lenient —
+// the extension is optional, so a malformed attribute degrades to a zero
+// field instead of failing the whole answer.
+func decodeTrace(a *Answer, n *xmltree.Node) {
+	a.TraceID = n.AttrValue("", "traceId")
+	a.TraceParent = n.AttrValue("", "parent")
+	for _, sp := range n.ChildElementsNamed(LogNS, "span") {
+		s := TraceSpan{Phase: sp.AttrValue("", "phase")}
+		if v := sp.AttrValue("", "start"); v != "" {
+			if t, err := time.Parse(time.RFC3339Nano, v); err == nil {
+				s.Start = t
+			}
+		}
+		if ns, err := strconv.ParseInt(sp.AttrValue("", "duration-ns"), 10, 64); err == nil {
+			s.Duration = time.Duration(ns)
+		}
+		s.TuplesIn, _ = strconv.Atoi(sp.AttrValue("", "tuples-in"))
+		s.TuplesOut, _ = strconv.Atoi(sp.AttrValue("", "tuples-out"))
+		a.Trace = append(a.Trace, s)
+	}
+}
+
 // DecodeAnswers parses a <log:answers> element back into an Answer.
 func DecodeAnswers(n *xmltree.Node) (*Answer, error) {
 	n = n.Root()
@@ -231,6 +335,9 @@ func DecodeAnswers(n *xmltree.Node) (*Answer, error) {
 	a := &Answer{
 		RuleID:    n.AttrValue("", "rule"),
 		Component: n.AttrValue("", "component"),
+	}
+	if tr := n.FirstChildElement(LogNS, "trace"); tr != nil {
+		decodeTrace(a, tr)
 	}
 	for _, ansEl := range n.ChildElementsNamed(LogNS, "answer") {
 		row := AnswerRow{Tuple: bindings.Tuple{}}

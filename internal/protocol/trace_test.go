@@ -1,0 +1,116 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bindings"
+	"repro/internal/xmltree"
+)
+
+func TestTraceElementRoundtrip(t *testing.T) {
+	start := time.Date(2026, 8, 6, 12, 0, 0, 123456789, time.UTC)
+	a := &Answer{
+		RuleID:      "travel",
+		Component:   "query[1]",
+		TraceID:     "travel#7",
+		TraceParent: "query[1]",
+		Trace: []TraceSpan{
+			{Phase: "parse", Start: start, Duration: 8300 * time.Nanosecond, TuplesIn: 2},
+			{Phase: "evaluate", Duration: 412 * time.Microsecond, TuplesIn: 2, TuplesOut: 4},
+			{Phase: "encode", Duration: 5100 * time.Nanosecond, TuplesOut: 4},
+		},
+		Rows: []AnswerRow{{Tuple: bindings.MustTuple("X", bindings.Str("v"))}},
+	}
+	doc := EncodeAnswers(a)
+	wire := doc.String()
+	if !strings.Contains(wire, "trace") || !strings.Contains(wire, `traceId="travel#7"`) {
+		t.Fatalf("wire missing log:trace: %s", wire)
+	}
+
+	got, err := DecodeAnswers(xmltree.MustParse(wire))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.TraceID != "travel#7" || got.TraceParent != "query[1]" {
+		t.Errorf("trace context = %q/%q", got.TraceID, got.TraceParent)
+	}
+	if len(got.Trace) != 3 {
+		t.Fatalf("spans = %d, want 3", len(got.Trace))
+	}
+	p := got.Trace[0]
+	if p.Phase != "parse" || !p.Start.Equal(start) || p.Duration != 8300*time.Nanosecond || p.TuplesIn != 2 || p.TuplesOut != 0 {
+		t.Errorf("parse span = %+v", p)
+	}
+	ev := got.Trace[1]
+	if ev.Phase != "evaluate" || !ev.Start.IsZero() || ev.Duration != 412*time.Microsecond || ev.TuplesOut != 4 {
+		t.Errorf("evaluate span = %+v", ev)
+	}
+	// The tuple rows survive alongside the extension.
+	if len(got.Rows) != 1 || !got.Rows[0].Tuple.Equal(a.Rows[0].Tuple) {
+		t.Errorf("rows = %+v", got.Rows)
+	}
+}
+
+func TestAnswersWithoutTraceUnchanged(t *testing.T) {
+	a := NewAnswer("r", "query[1]", bindings.NewRelation(bindings.MustTuple("X", bindings.Str("1"))))
+	wire := EncodeAnswers(a).String()
+	if strings.Contains(wire, "trace") {
+		t.Fatalf("untraced answer grew a trace element: %s", wire)
+	}
+	got, err := DecodeAnswers(xmltree.MustParse(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != "" || len(got.Trace) != 0 {
+		t.Errorf("phantom trace decoded: %+v", got)
+	}
+}
+
+// TestTraceElementInvisibleToRowDecoding feeds an answer document whose
+// log:trace element an old decoder would never look at, and checks the
+// current decoder treats the rows identically with and without it —
+// i.e. the extension changes nothing about the answer-markup semantics.
+func TestTraceElementInvisibleToRowDecoding(t *testing.T) {
+	with := `<log:answers xmlns:log="` + LogNS + `" rule="r" component="query[1]">
+	  <log:trace traceId="r#1"><log:span phase="evaluate" duration-ns="10"/></log:trace>
+	  <log:answer><log:variable name="X" type="string">a</log:variable></log:answer>
+	</log:answers>`
+	without := `<log:answers xmlns:log="` + LogNS + `" rule="r" component="query[1]">
+	  <log:answer><log:variable name="X" type="string">a</log:variable></log:answer>
+	</log:answers>`
+	aw, err := DecodeAnswers(xmltree.MustParse(with))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ao, err := DecodeAnswers(xmltree.MustParse(without))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aw.Rows) != 1 || len(ao.Rows) != 1 || !aw.Rows[0].Tuple.Equal(ao.Rows[0].Tuple) {
+		t.Errorf("rows differ with trace element: %+v vs %+v", aw.Rows, ao.Rows)
+	}
+	if aw.TraceID != "r#1" || len(aw.Trace) != 1 || aw.Trace[0].Phase != "evaluate" {
+		t.Errorf("trace not decoded: %+v", aw)
+	}
+}
+
+// TestDecodeTraceLenient: malformed attributes degrade to zero fields
+// rather than failing the answer.
+func TestDecodeTraceLenient(t *testing.T) {
+	doc := `<log:answers xmlns:log="` + LogNS + `" rule="r">
+	  <log:trace><log:span phase="parse" start="not-a-time" duration-ns="NaN" tuples-in="many"/></log:trace>
+	</log:answers>`
+	a, err := DecodeAnswers(xmltree.MustParse(doc))
+	if err != nil {
+		t.Fatalf("lenient decode failed: %v", err)
+	}
+	if len(a.Trace) != 1 {
+		t.Fatalf("spans = %d", len(a.Trace))
+	}
+	s := a.Trace[0]
+	if s.Phase != "parse" || !s.Start.IsZero() || s.Duration != 0 || s.TuplesIn != 0 {
+		t.Errorf("span = %+v, want zero fields", s)
+	}
+}

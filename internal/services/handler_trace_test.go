@@ -1,0 +1,104 @@
+package services
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/bindings"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/xmltree"
+)
+
+func testRequestBody(t *testing.T) *strings.Reader {
+	t.Helper()
+	req := &protocol.Request{
+		Kind: protocol.Test, RuleID: "r", Component: "test[1]",
+		Expression: xmltree.MustParse(`<eca:opaque xmlns:eca="` + protocol.ECANS + `">$X != "b"</eca:opaque>`).Root(),
+		Bindings: bindings.NewRelation(
+			bindings.MustTuple("X", bindings.Str("a")),
+			bindings.MustTuple("X", bindings.Str("b")),
+		),
+	}
+	return strings.NewReader(protocol.EncodeRequest(req).String())
+}
+
+func TestHandlerEmitsServerTrace(t *testing.T) {
+	hub := obs.NewHub()
+	var logBuf bytes.Buffer
+	lg := obs.NewLogger(&logBuf, "json", slog.LevelDebug)
+	h := NewHandler(TestEvaluator{}, hub, lg)
+
+	r := httptest.NewRequest("POST", "/services/test", testRequestBody(t))
+	r.Header.Set(protocol.TraceIDHeader, "r#42")
+	r.Header.Set(protocol.ParentSpanHeader, "test[1]")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, r)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+
+	a, err := protocol.DecodeAnswers(xmltree.MustParse(rec.Body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TraceID != "r#42" || a.TraceParent != "test[1]" {
+		t.Errorf("echoed trace context = %q/%q", a.TraceID, a.TraceParent)
+	}
+	phases := map[string]protocol.TraceSpan{}
+	for _, s := range a.Trace {
+		phases[s.Phase] = s
+	}
+	if len(phases) != 3 {
+		t.Fatalf("server spans = %+v, want parse/evaluate/encode", a.Trace)
+	}
+	if p := phases["parse"]; p.TuplesIn != 2 || p.Start.IsZero() {
+		t.Errorf("parse span = %+v", p)
+	}
+	if ev := phases["evaluate"]; ev.TuplesIn != 2 || ev.TuplesOut != 1 {
+		t.Errorf("evaluate span = %+v (test should keep 1 of 2 tuples)", ev)
+	}
+	if len(a.Rows) != 1 {
+		t.Errorf("rows = %+v", a.Rows)
+	}
+
+	// Phase histogram observed once per phase.
+	vec := hub.Metrics().HistogramVec("service_phase_seconds", "", nil, "phase")
+	for _, phase := range []string{"parse", "evaluate", "encode"} {
+		if n := vec.With(phase).Count(); n != 1 {
+			t.Errorf("service_phase_seconds{phase=%q} count = %d, want 1", phase, n)
+		}
+	}
+
+	// Every structured log line for the request carries the trace id.
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		if !strings.Contains(line, `"trace_id":"r#42"`) {
+			t.Errorf("log line missing trace_id: %s", line)
+		}
+	}
+	if !strings.Contains(logBuf.String(), "service request handled") {
+		t.Errorf("missing request log:\n%s", logBuf.String())
+	}
+}
+
+func TestHandlerWithoutTraceHeaderStaysPlain(t *testing.T) {
+	h := NewHandler(TestEvaluator{}, nil, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/services/test", testRequestBody(t)))
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if strings.Contains(rec.Body.String(), "trace") {
+		t.Errorf("untraced request got a trace element: %s", rec.Body)
+	}
+	a, err := protocol.DecodeAnswers(xmltree.MustParse(rec.Body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TraceID != "" || len(a.Trace) != 0 || len(a.Rows) != 1 {
+		t.Errorf("answer = %+v", a)
+	}
+}

@@ -112,44 +112,94 @@ func (s *DocStore) Update(uri string, f func(doc *xmltree.Node) error) error {
 
 // Handler wraps a framework-aware service core as an http.Handler speaking
 // the wire protocol: POST eca:request, 200 log:answers.
-func Handler(svc grh.Service) http.Handler { return InstrumentedHandler(svc, nil) }
+func Handler(svc grh.Service) http.Handler { return NewHandler(svc, nil, nil) }
 
 // InstrumentedHandler is Handler plus observability: every decoded
 // request counts into service_requests_total{kind} (and failures into
 // service_errors_total{kind}) on the given hub. A nil hub disables
 // instrumentation.
 func InstrumentedHandler(svc grh.Service, hub *obs.Hub) http.Handler {
+	return NewHandler(svc, hub, nil)
+}
+
+// NewHandler is the full wire-protocol handler: request counters and
+// per-phase latency histograms on hub, structured request logging on lg
+// (both optional), and — the server half of distributed rule-instance
+// tracing — when the request carries an X-ECA-Trace-Id header, the
+// handler times its own phases (request parse, expression evaluation,
+// answer-markup encoding, with tuples in/out) and piggybacks them as a
+// log:trace element in the answer envelope so the GRH stitches them
+// under the dispatch's client span. Requests without the header get the
+// plain PR-1-shaped answer, byte-identical to before.
+func NewHandler(svc grh.Service, hub *obs.Hub, lg *obs.Logger) http.Handler {
 	reg := hub.Metrics()
 	requests := reg.CounterVec("service_requests_total", "Requests handled by component language services, by request kind.", "kind")
 	errors := reg.CounterVec("service_errors_total", "Requests a component language service failed to handle, by request kind.", "kind")
 	seconds := reg.HistogramVec("service_request_seconds", "Component service request handling latency by request kind.", nil, "kind")
+	phases := reg.HistogramVec("service_phase_seconds", "Server-side request phase latency (parse, evaluate, encode), by phase.", nil, "phase")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST an eca:request document", http.StatusMethodNotAllowed)
 			return
 		}
+		traceID := r.Header.Get(protocol.TraceIDHeader)
+		parent := r.Header.Get(protocol.ParentSpanHeader)
+		rlog := lg
+		if traceID != "" {
+			rlog = rlog.With(obs.FieldTraceID, traceID)
+		}
+		parseStart := time.Now()
 		doc, err := xmltree.Parse(io.LimitReader(r.Body, 16<<20))
 		if err != nil {
+			rlog.Error("service request rejected", "reason", "xml", "error", err.Error())
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		req, err := protocol.DecodeRequest(doc)
 		if err != nil {
+			rlog.Error("service request rejected", "reason", "envelope", "error", err.Error())
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		parseDur := time.Since(parseStart)
+		phases.With("parse").Observe(parseDur.Seconds())
+		tuplesIn := req.Bindings.Size()
 		kind := string(req.Kind)
 		requests.With(kind).Inc()
-		start := time.Now()
+		rlog = rlog.With(obs.FieldRule, req.RuleID, obs.FieldComponent, req.Component)
+
+		evalStart := time.Now()
 		a, err := svc.Handle(req)
-		seconds.With(kind).Observe(obs.Since(start))
+		evalDur := time.Since(evalStart)
+		seconds.With(kind).Observe(evalDur.Seconds())
+		phases.With("evaluate").Observe(evalDur.Seconds())
 		if err != nil {
 			errors.With(kind).Inc()
+			rlog.Error("service request failed", "kind", kind, "error", err.Error())
 			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 			return
 		}
+
+		encStart := time.Now()
+		envelope := protocol.EncodeAnswers(a)
+		body := envelope.String()
+		encDur := time.Since(encStart)
+		phases.With("encode").Observe(encDur.Seconds())
+		if traceID != "" {
+			// The encode span's own cost is known only after encoding, so
+			// the log:trace element is appended to the already-built
+			// envelope rather than threaded through EncodeAnswers.
+			envelope.Append(protocol.EncodeTraceElement(traceID, parent, []protocol.TraceSpan{
+				{Phase: "parse", Start: parseStart, Duration: parseDur, TuplesIn: tuplesIn},
+				{Phase: "evaluate", Start: evalStart, Duration: evalDur, TuplesIn: tuplesIn, TuplesOut: len(a.Rows)},
+				{Phase: "encode", Start: encStart, Duration: encDur, TuplesOut: len(a.Rows)},
+			}))
+			body = envelope.String()
+		}
+		rlog.Debug("service request handled", "kind", kind,
+			"tuples_in", tuplesIn, "tuples_out", len(a.Rows))
 		w.Header().Set("Content-Type", "application/xml")
-		io.WriteString(w, protocol.EncodeAnswers(a).String())
+		io.WriteString(w, body)
 	})
 }
 

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -87,6 +88,13 @@ type Config struct {
 	// Obs is the observability hub instrumenting the engine, GRH and
 	// services; nil runs the system uninstrumented.
 	Obs *obs.Hub
+	// Log is the structured logger shared by the engine, GRH and service
+	// handlers; every record it emits for a live rule instance carries the
+	// instance's trace_id. nil disables structured logging.
+	Log *obs.Logger
+	// PProf mounts net/http/pprof profiling handlers under /debug/pprof/
+	// on the Mux.
+	PProf bool
 	// HTTPTimeout bounds every outbound service request made by the GRH
 	// and the deliverer; grh.DefaultTimeout when zero.
 	HTTPTimeout time.Duration
@@ -108,6 +116,9 @@ type System struct {
 	Engine   *engine.Engine
 	Notifier *Notifier
 	Obs      *obs.Hub
+	Log      *obs.Logger
+
+	pprof bool
 
 	Matcher *services.EventMatcher
 	Snoop   *services.SnoopService
@@ -125,15 +136,18 @@ func NewLocal(cfg Config) (*System, error) {
 		Stream:   events.NewStream(),
 		Store:    services.NewDocStore(),
 		GRH: grh.New(grh.WithObs(cfg.Obs), grh.WithTimeout(cfg.HTTPTimeout),
-			grh.WithRetry(cfg.Retry), grh.WithBreaker(cfg.Breaker)),
+			grh.WithRetry(cfg.Retry), grh.WithBreaker(cfg.Breaker),
+			grh.WithLog(cfg.Log)),
 		Notifier: &Notifier{},
 		Obs:      cfg.Obs,
+		Log:      cfg.Log,
+		pprof:    cfg.PProf,
 		started:  time.Now(),
 	}
 	if cfg.Trace != nil {
 		s.GRH.SetTrace(cfg.Trace)
 	}
-	engineOpts := []engine.Option{engine.WithObs(cfg.Obs)}
+	engineOpts := []engine.Option{engine.WithObs(cfg.Obs), engine.WithLog(cfg.Log)}
 	if cfg.Logger != nil {
 		engineOpts = append(engineOpts, engine.WithLogger(cfg.Logger))
 	}
@@ -195,14 +209,15 @@ func NewLocal(cfg Config) (*System, error) {
 //	GET  /healthz             liveness + rule/service counts as JSON
 //	GET  /metrics             Prometheus text exposition (when Obs is set)
 //	GET  /debug/traces        rule-instance span traces as JSON (when Obs is set)
+//	GET  /debug/pprof/        runtime profiling (when Config.PProf is set)
 func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/services/matcher", services.InstrumentedHandler(s.Matcher, s.Obs))
-	mux.Handle("/services/snoop", services.InstrumentedHandler(s.Snoop, s.Obs))
-	mux.Handle("/services/xquery", services.InstrumentedHandler(s.XQuery, s.Obs))
-	mux.Handle("/services/datalog", services.InstrumentedHandler(s.Datalog, s.Obs))
-	mux.Handle("/services/test", services.InstrumentedHandler(services.TestEvaluator{}, s.Obs))
-	mux.Handle("/services/action", services.InstrumentedHandler(s.Actions, s.Obs))
+	mux.Handle("/services/matcher", services.NewHandler(s.Matcher, s.Obs, s.Log))
+	mux.Handle("/services/snoop", services.NewHandler(s.Snoop, s.Obs, s.Log))
+	mux.Handle("/services/xquery", services.NewHandler(s.XQuery, s.Obs, s.Log))
+	mux.Handle("/services/datalog", services.NewHandler(s.Datalog, s.Obs, s.Log))
+	mux.Handle("/services/test", services.NewHandler(services.TestEvaluator{}, s.Obs, s.Log))
+	mux.Handle("/services/action", services.NewHandler(s.Actions, s.Obs, s.Log))
 	if opaqueDoc != nil {
 		mux.Handle("/opaque/store", services.NewOpaqueXMLStore(opaqueDoc, namespaces).SetObs(s.Obs))
 	}
@@ -270,6 +285,13 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 	if s.Obs != nil {
 		mux.Handle("/metrics", s.Obs.MetricsHandler())
 		mux.Handle("/debug/traces", s.Obs.TracesHandler())
+	}
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
 }

@@ -1,0 +1,295 @@
+package system
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/grh"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/ruleml"
+	"repro/internal/services"
+	"repro/internal/xmltree"
+)
+
+// syncBuf is a concurrency-safe log sink: service handlers run on the
+// httptest server's goroutines while the engine logs from the test's.
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) Lines() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := strings.TrimSpace(b.buf.String())
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+func (b *syncBuf) Reset() {
+	b.mu.Lock()
+	b.buf.Reset()
+	b.mu.Unlock()
+}
+
+// TestDistributedTraceStitching is the acceptance test of the
+// trace-propagation tentpole: in a distributed deployment, one rule
+// instance's trace must hold the GRH's client spans AND the service-side
+// parse/evaluate/encode spans, correlated solely via the propagated
+// X-ECA-Trace-Id header, retrievable stitched from /debug/traces?id=;
+// and every structured log record emitted while the instance evaluates
+// must carry its trace_id.
+func TestDistributedTraceStitching(t *testing.T) {
+	hub := obs.NewHub()
+	sink := &syncBuf{}
+	cfg := Config{Obs: hub, Log: obs.NewLogger(sink, "json", slog.LevelDebug)}
+	sys, err := NewLocal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Store.Put("people", xmltree.MustParse(`<people>
+	  <person k="7"><name>Ada</name></person>
+	  <person k="7"><name>Bob</name></person>
+	</people>`))
+	sys.Store.Put("grades", xmltree.MustParse(`<grades>
+	  <grade name="Ada"><value>5</value></grade>
+	  <grade name="Bob"><value>2</value></grade>
+	</grades>`))
+
+	// Record every trace header crossing the wire: correlation must come
+	// from the propagated header, nothing else.
+	var hdrMu sync.Mutex
+	var seenTraceIDs []string
+	mux := sys.Mux(nil, nil)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if id := r.Header.Get(protocol.TraceIDHeader); id != "" {
+			hdrMu.Lock()
+			seenTraceIDs = append(seenTraceIDs, id)
+			hdrMu.Unlock()
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	if err := sys.Distribute(srv.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	rule, err := ruleml.ParseString(chainRuleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Engine.Register(rule); err != nil {
+		t.Fatal(err)
+	}
+	sink.Reset() // registration noise is not part of the instance
+
+	ping(sys, "7")
+	if got := len(sys.Notifier.Sent()); got != 1 {
+		t.Fatalf("notifications = %d, want 1", got)
+	}
+
+	traces := hub.Traces().Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("instance traces = %d, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.State != "completed" {
+		t.Fatalf("state = %q: %+v", tr.State, tr)
+	}
+
+	// Client spans in order, with server spans stitched under the remote
+	// dispatches. The test component evaluates locally: no children.
+	var stages []string
+	for _, s := range tr.Spans {
+		stages = append(stages, s.Stage)
+	}
+	if got := strings.Join(stages, "→"); got != "event→query→query→test→action" {
+		t.Fatalf("span sequence = %s", got)
+	}
+	for _, i := range []int{1, 2, 4} { // the two queries and the action travel over HTTP
+		sp := tr.Spans[i]
+		if sp.Mode != "grh" || sp.Err != "" {
+			t.Fatalf("span %d (%s) = %+v", i, sp.Stage, sp)
+		}
+		if len(sp.Children) != 3 {
+			t.Fatalf("span %d (%s): %d server spans, want parse/evaluate/encode", i, sp.Stage, len(sp.Children))
+		}
+		for j, phase := range []string{"parse", "evaluate", "encode"} {
+			child := sp.Children[j]
+			if child.Stage != phase || child.Mode != "server" {
+				t.Errorf("span %d child %d = %+v, want phase %s mode server", i, j, child, phase)
+			}
+		}
+		// The evaluate phase saw the projected input relation.
+		if in := sp.Children[1].TuplesIn; in != sp.TuplesIn {
+			t.Errorf("span %d (%s): server evaluate tuples_in = %d, client sent %d", i, sp.Stage, in, sp.TuplesIn)
+		}
+	}
+	if len(tr.Spans[3].Children) != 0 {
+		t.Errorf("local test span grew server children: %+v", tr.Spans[3])
+	}
+
+	// Correlation came from the propagated header alone.
+	hdrMu.Lock()
+	ids := append([]string(nil), seenTraceIDs...)
+	hdrMu.Unlock()
+	if len(ids) != 3 {
+		t.Errorf("trace headers on the wire = %d (%v), want 3", len(ids), ids)
+	}
+	for _, id := range ids {
+		if id != tr.ID {
+			t.Errorf("propagated header %q != instance id %q", id, tr.ID)
+		}
+	}
+
+	// The stitched view is retrievable by id.
+	resp, err := http.Get(srv.URL + "/debug/traces?id=" + url.QueryEscape(tr.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/traces?id= %d: %s", resp.StatusCode, body)
+	}
+	var fetched obs.InstanceTrace
+	if err := json.Unmarshal(body, &fetched); err != nil {
+		t.Fatalf("trace JSON: %v\n%s", err, body)
+	}
+	if fetched.ID != tr.ID || len(fetched.Spans) != 5 || len(fetched.Spans[1].Children) != 3 {
+		t.Errorf("fetched trace = %+v", fetched)
+	}
+
+	// Every structured log record emitted while the instance evaluated —
+	// engine, GRH and server-side service records alike — carries its
+	// trace_id.
+	lines := sink.Lines()
+	if len(lines) == 0 {
+		t.Fatal("no structured log records")
+	}
+	wantKey := `"trace_id":"` + tr.ID + `"`
+	sawService, sawEngine := false, false
+	for _, line := range lines {
+		if !strings.Contains(line, wantKey) {
+			t.Errorf("log record without the instance trace_id: %s", line)
+		}
+		if strings.Contains(line, "service request handled") {
+			sawService = true
+		}
+		if strings.Contains(line, "rule instance completed") {
+			sawEngine = true
+		}
+	}
+	if !sawService || !sawEngine {
+		t.Errorf("log coverage: service=%v engine=%v\n%s", sawService, sawEngine, strings.Join(lines, "\n"))
+	}
+}
+
+// TestDistributedTraceBackCompat re-points the query language at a
+// PR-1-era service that ignores the trace headers and answers without a
+// log:trace element: the instance must evaluate normally and yield the
+// old-shaped trace (client spans only, no children, no errors).
+func TestDistributedTraceBackCompat(t *testing.T) {
+	hub := obs.NewHub()
+	sys := newChainSystem(t, hub)
+
+	legacy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		doc, err := xmltree.Parse(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		req, err := protocol.DecodeRequest(doc)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		a, err := sys.XQuery.Handle(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		io.WriteString(w, protocol.EncodeAnswers(a).String())
+	}))
+	defer legacy.Close()
+	if err := sys.GRH.Register(grh.Descriptor{
+		Language: services.XQueryNS, Name: "legacy XQuery (no log:trace)",
+		Kinds: []ruleml.ComponentKind{ruleml.QueryComponent}, FrameworkAware: true,
+		Endpoint: legacy.URL,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ping(sys, "7")
+	if got := len(sys.Notifier.Sent()); got != 1 {
+		t.Fatalf("notifications = %d, want 1", got)
+	}
+	traces := hub.Traces().Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	tr := traces[0]
+	if tr.State != "completed" || len(tr.Spans) != 5 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	for i, sp := range tr.Spans {
+		if sp.Err != "" {
+			t.Errorf("span %d error: %s", i, sp.Err)
+		}
+		if len(sp.Children) != 0 {
+			t.Errorf("span %d grew children from a legacy service: %+v", i, sp)
+		}
+	}
+}
+
+// TestPProfMount: Config.PProf mounts the profiler on the system mux.
+func TestPProfMount(t *testing.T) {
+	sys, err := NewLocal(Config{PProf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(sys.Mux(nil, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("/debug/pprof/goroutine = %d %q", resp.StatusCode, string(body[:min(len(body), 80)]))
+	}
+
+	plain, err := NewLocal(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(plain.Mux(nil, nil))
+	defer srv2.Close()
+	resp, err = http.Get(srv2.URL + "/debug/pprof/goroutine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof mounted without PProf: %d", resp.StatusCode)
+	}
+}

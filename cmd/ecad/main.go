@@ -8,12 +8,15 @@
 //	ecad -addr :8080 [-rule file.xml]... [-doc uri=file.xml]... \
 //	     [-datalog rules.dl] [-travel] [-distribute] [-metrics] [-pprof] [-v] \
 //	     [-log-level info] [-log-format text|json] \
-//	     [-retries N] [-breaker-failures N] [-breaker-cooldown 30s]
+//	     [-retries N] [-breaker-failures N] [-breaker-cooldown 30s] \
+//	     [-cache-entries N] [-cache-ttl 30s] [-shard-tuples N] [-max-shards K]
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the HTTP listener
 // stops accepting requests, then the engine drains every in-flight rule
 // instance before the process exits. -retries and -breaker-* configure
-// the GRH resilience layer (see docs/RESILIENCE.md).
+// the GRH resilience layer (see docs/RESILIENCE.md); -cache-* and
+// -shard-*/-max-shards configure the GRH throughput layer (see
+// docs/PERFORMANCE.md).
 //
 // With -travel the daemon preloads the paper's car-rental scenario
 // (documents, opaque service endpoints and the Fig. 4 rule). With
@@ -67,6 +70,10 @@ type options struct {
 	retries         int
 	breakerFailures int
 	breakerCooldown time.Duration
+	cacheEntries    int
+	cacheTTL        time.Duration
+	shardTuples     int
+	maxShards       int
 	rules           []string
 	docs            []string
 }
@@ -86,6 +93,10 @@ func main() {
 	flag.IntVar(&o.retries, "retries", 2, "GRH retries after the first attempt for idempotent dispatches (queries/tests; 0 disables)")
 	flag.IntVar(&o.breakerFailures, "breaker-failures", grh.DefaultBreakerPolicy.FailureThreshold, "consecutive endpoint failures that trip the GRH circuit breaker (0 disables)")
 	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", grh.DefaultBreakerPolicy.Cooldown, "how long an open circuit breaker sheds load before probing the endpoint again")
+	flag.IntVar(&o.cacheEntries, "cache-entries", 0, "GRH answer cache size for idempotent dispatches (queries/tests; 0 disables caching and coalescing)")
+	flag.DurationVar(&o.cacheTTL, "cache-ttl", grh.DefaultCacheTTL, "how long a cached answer may be served (staleness bound)")
+	flag.IntVar(&o.shardTuples, "shard-tuples", 0, "shard idempotent dispatches whose input relation exceeds this many tuples (0 disables partitioning)")
+	flag.IntVar(&o.maxShards, "max-shards", grh.DefaultMaxShards, "concurrent shard fan-out cap per partitioned dispatch")
 	var rules, docs repeated
 	flag.Var(&rules, "rule", "rule file to register at startup (repeatable)")
 	flag.Var(&docs, "doc", "uri=file pair to load into the document store (repeatable)")
@@ -125,6 +136,12 @@ func run(o options) error {
 	}
 	if o.breakerFailures > 0 {
 		cfg.Breaker = grh.BreakerPolicy{FailureThreshold: o.breakerFailures, Cooldown: o.breakerCooldown}
+	}
+	if o.cacheEntries > 0 {
+		cfg.Cache = grh.CachePolicy{MaxEntries: o.cacheEntries, TTL: o.cacheTTL}
+	}
+	if o.shardTuples > 0 {
+		cfg.Partition = grh.PartitionPolicy{MaxTuples: o.shardTuples, MaxShards: o.maxShards}
 	}
 	if o.datalogSrc != "" {
 		src, err := os.ReadFile(o.datalogSrc)
@@ -200,6 +217,12 @@ func run(o options) error {
 	if o.retries > 0 || o.breakerFailures > 0 {
 		logger.Info("resilience configured", "retries", o.retries,
 			"breaker_failures", o.breakerFailures, "breaker_cooldown", o.breakerCooldown.String())
+	}
+	if o.cacheEntries > 0 {
+		logger.Info("answer cache on", "entries", o.cacheEntries, "ttl", o.cacheTTL.String())
+	}
+	if o.shardTuples > 0 {
+		logger.Info("partitioned dispatch on", "shard_tuples", o.shardTuples, "max_shards", o.maxShards)
 	}
 
 	if o.distribute {

@@ -31,13 +31,21 @@ func serveMux(sc *travel.Scenario) (*httptest.Server, error) {
 
 // Series lists the available performance series.
 func Series() []string {
-	return []string{"reg", "match", "snoop", "join", "grh", "e2e", "datalog", "xq", "xpath", "resilience"}
+	return []string{"reg", "match", "snoop", "join", "grh", "e2e", "datalog", "xq", "xpath", "resilience", "cache", "partition"}
 }
 
 // RunSeries executes one named series, printing a table to w. Series that
 // exercise the system stack run against a fresh observability hub; its
 // metrics snapshot is appended after the table.
 func RunSeries(name string, w io.Writer) error {
+	_, err := RunSeriesStats(name, w)
+	return err
+}
+
+// RunSeriesStats is RunSeries returning a stats summary (dispatch
+// percentiles, cache hit rate, shard fan-out) computed from the series'
+// metrics hub — the per-series record ecabench -json persists.
+func RunSeriesStats(name string, w io.Writer) (SeriesStats, error) {
 	hub := obs.NewHub()
 	var err error
 	switch name {
@@ -61,11 +69,15 @@ func RunSeries(name string, w io.Writer) error {
 		err = seriesXPath(w)
 	case "resilience":
 		err = seriesResilience(w, hub)
+	case "cache":
+		err = seriesCache(w, hub)
+	case "partition":
+		err = seriesPartition(w, hub)
 	default:
-		return fmt.Errorf("bench: unknown series %q (have %v)", name, Series())
+		return SeriesStats{}, fmt.Errorf("bench: unknown series %q (have %v)", name, Series())
 	}
 	if err != nil {
-		return err
+		return SeriesStats{}, err
 	}
 	var buf bytes.Buffer
 	hub.Metrics().WriteSummary(&buf)
@@ -74,7 +86,7 @@ func RunSeries(name string, w io.Writer) error {
 		w.Write(buf.Bytes())
 	}
 	writeStageLatencies(w, hub, name)
-	return nil
+	return statsFrom(name, hub), nil
 }
 
 // writeStageLatencies prints per-stage latency percentiles for the series

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bindings"
+	"repro/internal/grh"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/ruleml"
+	"repro/internal/xmltree"
+)
+
+// SeriesStats summarizes one series run from its metrics hub: overall GRH
+// dispatch percentiles plus the throughput-layer counters (cache, coalescing,
+// sharding). Serialized by ecabench -json.
+type SeriesStats struct {
+	Series         string  `json:"series"`
+	Dispatches     int64   `json:"grh_dispatches"`
+	DispatchP50    float64 `json:"grh_dispatch_p50_seconds"`
+	DispatchP95    float64 `json:"grh_dispatch_p95_seconds"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	Coalesced      int64   `json:"coalesced"`
+	Shards         int64   `json:"shards"`
+	ShardFanoutP95 float64 `json:"shard_fanout_p95"`
+}
+
+// statsFrom snapshots the throughput stats of a series from its hub.
+func statsFrom(name string, hub *obs.Hub) SeriesStats {
+	m := hub.Metrics()
+	d := m.HistogramVec("grh_dispatch_seconds", "", nil, "language", "mode").Merged()
+	st := SeriesStats{
+		Series:      name,
+		Dispatches:  d.Count(),
+		DispatchP50: d.Quantile(0.5),
+		DispatchP95: d.Quantile(0.95),
+		CacheHits:   m.Counter("grh_cache_hits_total", "").Value(),
+		CacheMisses: m.Counter("grh_cache_misses_total", "").Value(),
+		Coalesced:   m.Counter("grh_coalesced_total", "").Value(),
+		Shards:      m.Counter("grh_shards_total", "").Value(),
+	}
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		st.CacheHitRate = float64(st.CacheHits) / float64(total)
+	}
+	st.ShardFanoutP95 = m.Histogram("grh_shard_fanout", "", nil).Quantile(0.95)
+	return st
+}
+
+// echoServer is a framework-aware HTTP query service with a configurable
+// evaluation cost: a fixed delay per request plus a marginal delay per
+// input tuple. It echoes every input tuple back with one result, so both
+// plain joins and eca:variable extensions behave as a real service's
+// would.
+func echoServer(delay, perTuple time.Duration, upstream *atomic.Int64) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if upstream != nil {
+			upstream.Add(1)
+		}
+		doc, err := xmltree.Parse(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		req, err := protocol.DecodeRequest(doc)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		time.Sleep(delay + time.Duration(req.Bindings.Size())*perTuple)
+		a := &protocol.Answer{RuleID: req.RuleID, Component: req.Component}
+		for _, t := range req.Bindings.Tuples() {
+			a.Rows = append(a.Rows, protocol.AnswerRow{Tuple: t, Results: []bindings.Value{bindings.Str("r")}})
+		}
+		fmt.Fprint(w, protocol.EncodeAnswers(a).String())
+	}))
+}
+
+func benchQuery(lang string, rel *bindings.Relation) grhComponent {
+	return grhComponent{
+		Rule:     "bench",
+		Comp:     ruleml.Component{Kind: ruleml.QueryComponent, ID: "query[1]", Language: lang, Expression: xmltree.NewElement(lang, "q")},
+		Bindings: rel,
+	}
+}
+
+// seriesCache: dispatch cost against an HTTP query service with and
+// without the answer cache, plus the coalescing effect of concurrent
+// identical dispatches. Fails when the warm cache does not deliver at
+// least a 5× speedup — the regression gate CI relies on.
+func seriesCache(w io.Writer, hub *obs.Hub) error {
+	fmt.Fprintln(w, "series cache — GRH answer cache + request coalescing (HTTP query service, ~0.5ms evaluation)")
+	fmt.Fprintln(w, "segment\tns/dispatch\tdispatches/s\tupstream")
+	var upstream atomic.Int64
+	srv := echoServer(500*time.Microsecond, 0, &upstream)
+	defer srv.Close()
+
+	rel := makeRelation(8, 4, "K", "V")
+	const n = 200
+
+	register := func(g *grh.GRH, lang string) error {
+		return g.Register(grh.Descriptor{Language: lang, Name: "echo query service", Kinds: []ruleml.ComponentKind{ruleml.QueryComponent}, FrameworkAware: true, Endpoint: srv.URL})
+	}
+
+	// Baseline: every dispatch pays the full round trip.
+	gOff := grh.New(grh.WithObs(hub))
+	const langOff = "http://bench/cache-off"
+	if err := register(gOff, langOff); err != nil {
+		return err
+	}
+	upstream.Store(0)
+	cold := measure(n, func(int) {
+		if _, err := gOff.Dispatch(protocol.Query, benchQuery(langOff, rel)); err != nil {
+			panic(err)
+		}
+	})
+	fmt.Fprintf(w, "no-cache\t%.0f\t%.0f\t%d\n", cold, 1e9/cold, upstream.Load())
+
+	// Warm cache: the first dispatch misses and fills, the rest hit.
+	gOn := grh.New(grh.WithObs(hub), grh.WithCache(grh.DefaultCachePolicy))
+	const langOn = "http://bench/cache-on"
+	if err := register(gOn, langOn); err != nil {
+		return err
+	}
+	upstream.Store(0)
+	warm := measure(n, func(int) {
+		if _, err := gOn.Dispatch(protocol.Query, benchQuery(langOn, rel)); err != nil {
+			panic(err)
+		}
+	})
+	fmt.Fprintf(w, "warm-cache\t%.0f\t%.0f\t%d\n", warm, 1e9/warm, upstream.Load())
+
+	// Coalescing: concurrent identical dispatches on a cold key share one
+	// upstream request (stragglers may hit the freshly filled cache).
+	gCo := grh.New(grh.WithObs(hub), grh.WithCache(grh.DefaultCachePolicy))
+	const langCo = "http://bench/coalesce"
+	if err := register(gCo, langCo); err != nil {
+		return err
+	}
+	upstream.Store(0)
+	const fanIn = 64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < fanIn; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := gCo.Dispatch(protocol.Query, benchQuery(langCo, rel)); err != nil {
+				panic(err)
+			}
+		}()
+	}
+	wg.Wait()
+	per := float64(time.Since(start).Nanoseconds()) / fanIn
+	fmt.Fprintf(w, "coalesce×%d\t%.0f\t%.0f\t%d\n", fanIn, per, 1e9/per, upstream.Load())
+
+	speedup := cold / warm
+	fmt.Fprintf(w, "\nwarm-cache speedup: %.1f× (threshold ≥5×)\n", speedup)
+	if speedup < 5 {
+		return fmt.Errorf("bench: warm cache speedup %.1f× below the 5× threshold", speedup)
+	}
+	return nil
+}
+
+// seriesPartition: dispatch cost of a large input relation unsharded vs.
+// partitioned, against an HTTP query service whose evaluation cost is
+// dominated by per-tuple work — the regime partitioning targets.
+func seriesPartition(w io.Writer, hub *obs.Hub) error {
+	fmt.Fprintln(w, "series partition — partitioned parallel dispatch (HTTP query service, ~200µs/tuple evaluation)")
+	fmt.Fprintln(w, "config\ttuples\tshards\tns/dispatch\tspeedup")
+	srv := echoServer(100*time.Microsecond, 200*time.Microsecond, nil)
+	defer srv.Close()
+
+	const tuples = 512
+	rel := makeRelation(tuples, 64, "K", "V")
+	const n = 5
+
+	configs := []struct {
+		name string
+		p    grh.PartitionPolicy
+	}{
+		{"unsharded", grh.PartitionPolicy{}},
+		{"shard≤128", grh.PartitionPolicy{MaxTuples: 128, MaxShards: 8}},
+		{"shard≤64", grh.PartitionPolicy{MaxTuples: 64, MaxShards: 8}},
+	}
+	var base float64
+	for i, cfg := range configs {
+		g := grh.New(grh.WithObs(hub), grh.WithPartition(cfg.p))
+		lang := fmt.Sprintf("http://bench/partition-%d", i)
+		if err := g.Register(grh.Descriptor{Language: lang, Name: "echo query service", Kinds: []ruleml.ComponentKind{ruleml.QueryComponent}, FrameworkAware: true, Endpoint: srv.URL}); err != nil {
+			return err
+		}
+		// Sanity: sharding must not change the answer.
+		a, err := g.Dispatch(protocol.Query, benchQuery(lang, rel))
+		if err != nil {
+			return err
+		}
+		if len(a.Rows) != tuples {
+			return fmt.Errorf("bench: partition config %s returned %d rows, want %d", cfg.name, len(a.Rows), tuples)
+		}
+		nsop := measure(n, func(int) {
+			if _, err := g.Dispatch(protocol.Query, benchQuery(lang, rel)); err != nil {
+				panic(err)
+			}
+		})
+		shards := 1
+		if cfg.p.Enabled() {
+			shards = (tuples + cfg.p.MaxTuples - 1) / cfg.p.MaxTuples
+			if shards > cfg.p.MaxShards {
+				shards = cfg.p.MaxShards
+			}
+		}
+		if i == 0 {
+			base = nsop
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.0f\t%.1f×\n", cfg.name, tuples, shards, nsop, base/nsop)
+	}
+	return nil
+}

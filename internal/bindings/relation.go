@@ -135,6 +135,7 @@ func (t Tuple) String() string {
 type Relation struct {
 	tuples []Tuple
 	index  map[string][]int // tuple.key() → indices, for duplicate elimination
+	varset map[string]bool  // union of variables bound in any tuple, kept by Add
 }
 
 // NewRelation returns a relation containing the given tuples (duplicates,
@@ -166,6 +167,14 @@ func (r *Relation) Add(t Tuple) bool {
 	}
 	r.index[k] = append(r.index[k], len(r.tuples))
 	r.tuples = append(r.tuples, t)
+	if len(t) > 0 {
+		if r.varset == nil {
+			r.varset = map[string]bool{}
+		}
+		for name := range t {
+			r.varset[name] = true
+		}
+	}
 	return true
 }
 
@@ -180,16 +189,12 @@ func (r *Relation) Empty() bool { return len(r.tuples) == 0 }
 // shared; callers must not mutate it.
 func (r *Relation) Tuples() []Tuple { return r.tuples }
 
-// Vars returns the sorted union of variables bound in any tuple.
+// Vars returns the sorted union of variables bound in any tuple. The set
+// is maintained incrementally by Add, so this costs O(vars), not
+// O(tuples×vars) — Join consults it on every call.
 func (r *Relation) Vars() []string {
-	set := map[string]bool{}
-	for _, t := range r.tuples {
-		for k := range t {
-			set[k] = true
-		}
-	}
-	out := make([]string, 0, len(set))
-	for k := range set {
+	out := make([]string, 0, len(r.varset))
+	for k := range r.varset {
 		out = append(out, k)
 	}
 	sort.Strings(out)
@@ -265,13 +270,13 @@ func (r *Relation) Join(s *Relation) *Relation {
 }
 
 func sharedVars(r, s *Relation) []string {
-	rv := map[string]bool{}
-	for _, v := range r.Vars() {
-		rv[v] = true
+	small, large := r, s
+	if len(s.varset) < len(r.varset) {
+		small, large = s, r
 	}
 	var shared []string
-	for _, v := range s.Vars() {
-		if rv[v] {
+	for v := range small.varset {
+		if large.varset[v] {
 			shared = append(shared, v)
 		}
 	}

@@ -80,6 +80,16 @@ func Fragment(n *xmltree.Node) Value { return Value{kind: XML, node: n} }
 // Kind returns the kind of the value.
 func (v Value) Kind() Kind { return v.kind }
 
+// Clone returns a deep copy of the value: XML fragments copy their whole
+// node tree, so mutations of the clone (or the original) never reach the
+// other. Scalar kinds are immutable and copy trivially.
+func (v Value) Clone() Value {
+	if v.kind == XML && v.node != nil {
+		return Value{kind: XML, node: v.node.Clone()}
+	}
+	return v
+}
+
 // IsZero reports whether v is the zero value (the empty string literal).
 func (v Value) IsZero() bool { return v == Value{} }
 

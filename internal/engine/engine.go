@@ -542,17 +542,67 @@ func (e *Engine) isLocalTest(step ruleml.Component) bool {
 // extendWithResults implements the eca:variable semantics: for every tuple
 // of the full relation, the functional results produced for its projection
 // become separate bindings of the variable.
+//
+// Answer rows are matched to input tuples by Tuple.Equal over the projected
+// variables; the projKey index only narrows the search. Key equality alone
+// is not enough — Value.Key collides by design (XML fragments key by text
+// content alone), so two different input tuples can share a key, and key-only
+// matching would hand one tuple the other's results. Rows echoing fewer
+// variables than they were sent (an empty or partial echo) fall back to a
+// compatibility scan, attaching their results to every input tuple they
+// agree with.
 func extendWithResults(full, projected *bindings.Relation, a *protocol.Answer, variable string) *bindings.Relation {
-	// Index answer rows by their tuple's identity over the projected vars.
 	vars := projected.Vars()
-	results := map[string][]bindings.Value{}
+	type echo struct {
+		tuple   bindings.Tuple // row tuple projected onto vars
+		results []bindings.Value
+	}
+	buckets := map[string][]*echo{}
+	var echoes []*echo
 	for _, row := range a.Rows {
-		k := projKey(row.Tuple, vars)
-		results[k] = append(results[k], row.Results...)
+		rt := projectTuple(row.Tuple, vars)
+		k := projKey(rt, vars)
+		var e *echo
+		for _, b := range buckets[k] {
+			if b.tuple.Equal(rt) {
+				e = b
+				break
+			}
+		}
+		if e == nil {
+			e = &echo{tuple: rt}
+			buckets[k] = append(buckets[k], e)
+			echoes = append(echoes, e)
+		}
+		e.results = append(e.results, row.Results...)
 	}
 	return full.Extend(variable, func(t bindings.Tuple) []bindings.Value {
-		return results[projKey(t, vars)]
+		proj := projectTuple(t, vars)
+		for _, e := range buckets[projKey(proj, vars)] {
+			if e.tuple.Equal(proj) {
+				return e.results
+			}
+		}
+		var out []bindings.Value
+		for _, e := range echoes {
+			if len(e.tuple) < len(proj) && e.tuple.Compatible(proj) {
+				out = append(out, e.results...)
+			}
+		}
+		return out
 	})
+}
+
+// projectTuple restricts a tuple to the given variables (absent ones are
+// simply missing, as in Relation.Project).
+func projectTuple(t bindings.Tuple, vars []string) bindings.Tuple {
+	p := make(bindings.Tuple, len(vars))
+	for _, v := range vars {
+		if val, ok := t[v]; ok {
+			p[v] = val
+		}
+	}
+	return p
 }
 
 // projKey canonicalizes a tuple's projection onto vars. It uses the same

@@ -1,0 +1,133 @@
+package engine
+
+// Regression tests for extendWithResults: answer rows must be matched to
+// input tuples by Tuple.Equal, not by projKey alone — Value.Key collides
+// by design (XML fragments key by text content), and services may echo
+// fewer variables than they were sent.
+
+import (
+	"testing"
+
+	"repro/internal/bindings"
+	"repro/internal/protocol"
+	"repro/internal/xmltree"
+)
+
+func resultStrings(rel *bindings.Relation, variable string) map[string]string {
+	out := map[string]string{}
+	for _, t := range rel.Tuples() {
+		key := ""
+		for _, v := range t.Vars() {
+			if v != variable {
+				key += v + "=" + t[v].String() + ";"
+			}
+		}
+		out[key] += t[variable].AsString() + ","
+	}
+	return out
+}
+
+// TestExtendWithResultsKeyCollision: two input tuples whose values share
+// a join key (equal text content, different XML structure) must each
+// receive their own results — key-only matching hands both tuples the
+// merged result list.
+func TestExtendWithResultsKeyCollision(t *testing.T) {
+	fragA := bindings.Fragment(xmltree.MustParse(`<m><inner/>x</m>`).Root())
+	fragB := bindings.Fragment(xmltree.MustParse(`<n>x</n>`).Root())
+	if fragA.Key() != fragB.Key() {
+		t.Fatal("test premise broken: fragments no longer share a join key")
+	}
+	tA := bindings.Tuple{"M": fragA}
+	tB := bindings.Tuple{"M": fragB}
+	full := bindings.NewRelation(tA, tB)
+
+	a := &protocol.Answer{Rows: []protocol.AnswerRow{
+		{Tuple: tA, Results: []bindings.Value{bindings.Str("for-A")}},
+		{Tuple: tB, Results: []bindings.Value{bindings.Str("for-B")}},
+	}}
+	out := extendWithResults(full, full, a, "R")
+	if out.Size() != 2 {
+		t.Fatalf("extended relation has %d tuples, want 2:\n%s", out.Size(), out)
+	}
+	for _, tu := range out.Tuples() {
+		want := "for-B"
+		if xmltree.EqualIgnoringWhitespace(tu["M"].Node(), fragA.Node()) {
+			want = "for-A"
+		}
+		if got := tu["R"].AsString(); got != want {
+			t.Errorf("tuple %s bound R=%q, want %q — results crossed over on a key collision", tu, got, want)
+		}
+	}
+}
+
+// TestExtendWithResultsUnechoedBindings: a service that returns results
+// without echoing the input bindings (empty answer tuples) must still
+// attach them to every input tuple instead of silently dropping the
+// relation.
+func TestExtendWithResultsUnechoedBindings(t *testing.T) {
+	full := bindings.NewRelation(
+		bindings.MustTuple("X", bindings.Str("1")),
+		bindings.MustTuple("X", bindings.Str("2")),
+	)
+	a := &protocol.Answer{Rows: []protocol.AnswerRow{
+		{Tuple: bindings.Tuple{}, Results: []bindings.Value{bindings.Str("r")}},
+	}}
+	out := extendWithResults(full, full, a, "R")
+	if out.Size() != 2 {
+		t.Fatalf("extended relation has %d tuples, want 2 (unechoed results apply to every tuple):\n%s", out.Size(), out)
+	}
+	for _, tu := range out.Tuples() {
+		if got := tu["R"].AsString(); got != "r" {
+			t.Errorf("tuple %s bound R=%q, want %q", tu, got, "r")
+		}
+	}
+}
+
+// TestExtendWithResultsPartialEcho: a service echoing only a subset of
+// the projected variables attaches its results to exactly the compatible
+// input tuples.
+func TestExtendWithResultsPartialEcho(t *testing.T) {
+	t1 := bindings.MustTuple("X", bindings.Str("a"), "Y", bindings.Str("1"))
+	t2 := bindings.MustTuple("X", bindings.Str("a"), "Y", bindings.Str("2"))
+	t3 := bindings.MustTuple("X", bindings.Str("b"), "Y", bindings.Str("3"))
+	full := bindings.NewRelation(t1, t2, t3)
+
+	a := &protocol.Answer{Rows: []protocol.AnswerRow{
+		{Tuple: bindings.MustTuple("X", bindings.Str("a")), Results: []bindings.Value{bindings.Str("ra")}},
+	}}
+	out := extendWithResults(full, full, a, "R")
+	if out.Size() != 2 {
+		t.Fatalf("extended relation has %d tuples, want 2 (X=a tuples only):\n%s", out.Size(), out)
+	}
+	for _, tu := range out.Tuples() {
+		if tu["X"].AsString() != "a" {
+			t.Errorf("tuple %s should have been dropped (no results for X=b)", tu)
+		}
+		if got := tu["R"].AsString(); got != "ra" {
+			t.Errorf("tuple %s bound R=%q, want %q", tu, got, "ra")
+		}
+	}
+}
+
+// TestExtendWithResultsExactEchoUnchanged pins the ordinary path: a
+// full-echo answer extends each tuple with exactly its own results.
+func TestExtendWithResultsExactEchoUnchanged(t *testing.T) {
+	t1 := bindings.MustTuple("X", bindings.Str("1"))
+	t2 := bindings.MustTuple("X", bindings.Str("2"))
+	full := bindings.NewRelation(t1, t2)
+	a := &protocol.Answer{Rows: []protocol.AnswerRow{
+		{Tuple: t1, Results: []bindings.Value{bindings.Str("r1a"), bindings.Str("r1b")}},
+		{Tuple: t2, Results: []bindings.Value{bindings.Str("r2")}},
+	}}
+	out := extendWithResults(full, full, a, "R")
+	if out.Size() != 3 {
+		t.Fatalf("extended relation has %d tuples, want 3:\n%s", out.Size(), out)
+	}
+	got := resultStrings(out, "R")
+	if got[`X="1";`] != "r1a,r1b," && got[`X="1";`] != "r1b,r1a," {
+		t.Errorf("X=1 results = %q, want r1a and r1b", got[`X="1";`])
+	}
+	if got[`X="2";`] != "r2," {
+		t.Errorf("X=2 results = %q, want r2", got[`X="2";`])
+	}
+}

@@ -1,0 +1,357 @@
+package grh
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bindings"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/ruleml"
+	"repro/internal/xmltree"
+)
+
+// countingEcho is a local framework-aware service that counts its calls
+// and echoes every input tuple with one functional result.
+func countingEcho(calls *atomic.Int64) Service {
+	return ServiceFunc(func(req *protocol.Request) (*protocol.Answer, error) {
+		calls.Add(1)
+		a := &protocol.Answer{RuleID: req.RuleID, Component: req.Component}
+		for _, t := range req.Bindings.Tuples() {
+			a.Rows = append(a.Rows, protocol.AnswerRow{Tuple: t, Results: []bindings.Value{bindings.Str("r")}})
+		}
+		return a, nil
+	})
+}
+
+func queryComp(rule, lang string, rel *bindings.Relation) Component {
+	return Component{
+		Rule:     rule,
+		Comp:     ruleml.Component{Kind: ruleml.QueryComponent, ID: "query[1]", Language: lang, Expression: xmltree.NewElement(lang, "q")},
+		Bindings: rel,
+	}
+}
+
+const cacheTestLang = "http://test/cache"
+
+func newCachedGRH(t *testing.T, hub *obs.Hub, policy CachePolicy, svc Service) *GRH {
+	t.Helper()
+	g := New(WithObs(hub), WithCache(policy))
+	if err := g.Register(Descriptor{Language: cacheTestLang, FrameworkAware: true, Local: svc}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCacheHitMissTTL(t *testing.T) {
+	hub := obs.NewHub()
+	var calls atomic.Int64
+	g := newCachedGRH(t, hub, CachePolicy{MaxEntries: 8, TTL: time.Second}, countingEcho(&calls))
+	clock := time.Unix(1000, 0)
+	g.now = func() time.Time { return clock }
+
+	rel := bindings.NewRelation(bindings.MustTuple("X", bindings.Str("1")))
+	for i := 0; i < 3; i++ {
+		a, err := g.Dispatch(protocol.Query, queryComp("r", cacheTestLang, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Rows) != 1 {
+			t.Fatalf("dispatch %d: %d rows, want 1", i, len(a.Rows))
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("service called %d times, want 1 (cache should absorb repeats)", got)
+	}
+	counter := func(name string) int64 { return hub.Metrics().Counter(name, "").Value() }
+	if got := counter("grh_cache_hits_total"); got != 2 {
+		t.Errorf("cache hits = %d, want 2", got)
+	}
+	if got := counter("grh_cache_misses_total"); got != 1 {
+		t.Errorf("cache misses = %d, want 1", got)
+	}
+
+	// Past the TTL the entry expires: the next dispatch goes upstream again
+	// and the expiry counts as an eviction.
+	clock = clock.Add(2 * time.Second)
+	if _, err := g.Dispatch(protocol.Query, queryComp("r", cacheTestLang, rel)); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("service called %d times after TTL expiry, want 2", got)
+	}
+	if got := counter("grh_cache_evictions_total"); got != 1 {
+		t.Errorf("evictions = %d, want 1 (TTL expiry)", got)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	hub := obs.NewHub()
+	var calls atomic.Int64
+	g := newCachedGRH(t, hub, CachePolicy{MaxEntries: 2, TTL: time.Hour}, countingEcho(&calls))
+
+	rels := []*bindings.Relation{
+		bindings.NewRelation(bindings.MustTuple("X", bindings.Str("a"))),
+		bindings.NewRelation(bindings.MustTuple("X", bindings.Str("b"))),
+		bindings.NewRelation(bindings.MustTuple("X", bindings.Str("c"))),
+	}
+	for _, rel := range rels {
+		if _, err := g.Dispatch(protocol.Query, queryComp("r", cacheTestLang, rel)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The third fill evicted the least recently used entry (rels[0]), so
+	// re-dispatching it misses and goes upstream again.
+	if _, err := g.Dispatch(protocol.Query, queryComp("r", cacheTestLang, rels[0])); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("service called %d times, want 4 (LRU eviction of the oldest entry)", got)
+	}
+	if got := hub.Metrics().Counter("grh_cache_evictions_total", "").Value(); got < 1 {
+		t.Errorf("evictions = %d, want ≥1", got)
+	}
+	if got := g.cache.len(); got != 2 {
+		t.Errorf("cache holds %d entries, want 2 (size bound)", got)
+	}
+}
+
+// TestCacheDefensiveCopy proves a cached answer is never aliased across
+// rule instances: mutating a served answer (tuple XML fragments and
+// result values included) must not leak into later hits, and every hit
+// is re-addressed to its requester.
+func TestCacheDefensiveCopy(t *testing.T) {
+	var calls atomic.Int64
+	svc := ServiceFunc(func(req *protocol.Request) (*protocol.Answer, error) {
+		calls.Add(1)
+		frag := xmltree.MustParse(`<car><model>VW Golf</model></car>`).Root()
+		return &protocol.Answer{
+			RuleID:    req.RuleID,
+			Component: req.Component,
+			Rows: []protocol.AnswerRow{{
+				Tuple:   bindings.Tuple{"Car": bindings.Fragment(frag)},
+				Results: []bindings.Value{bindings.Fragment(frag.Clone())},
+			}},
+		}, nil
+	})
+	g := newCachedGRH(t, nil, DefaultCachePolicy, svc)
+
+	rel := bindings.Unit()
+	first, err := g.Dispatch(protocol.Query, queryComp("rule-a", cacheTestLang, rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vandalize everything the first caller received.
+	first.Rows[0].Tuple["Car"].Node().Children = nil
+	first.Rows[0].Results[0].Node().Children = nil
+	first.Rows[0].Tuple["Extra"] = bindings.Str("junk")
+
+	second, err := g.Dispatch(protocol.Query, queryComp("rule-b", cacheTestLang, rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("service called %d times, want 1", calls.Load())
+	}
+	if second.RuleID != "rule-b" {
+		t.Errorf("hit answer addressed to rule %q, want rule-b (re-stamped per requester)", second.RuleID)
+	}
+	if len(second.Rows[0].Tuple) != 1 {
+		t.Errorf("hit tuple has %d vars, want 1 — first caller's mutation leaked into the cache", len(second.Rows[0].Tuple))
+	}
+	if got := second.Rows[0].Tuple["Car"].Node().TextContent(); got != "VW Golf" {
+		t.Errorf("hit tuple fragment text = %q, want %q — XML tree aliased across instances", got, "VW Golf")
+	}
+	if got := second.Rows[0].Results[0].Node().TextContent(); got != "VW Golf" {
+		t.Errorf("hit result fragment text = %q, want %q — XML tree aliased across instances", got, "VW Golf")
+	}
+}
+
+// TestCacheKeyCanonicalization: the key must be order-insensitive over
+// tuples (same relation → hit) but strictly discriminate values that are
+// merely join-equal, like XML fragments with equal text content but
+// different structure (Value.Key collides for those by design).
+func TestCacheKeyCanonicalization(t *testing.T) {
+	var calls atomic.Int64
+	g := newCachedGRH(t, nil, DefaultCachePolicy, countingEcho(&calls))
+
+	t1 := bindings.MustTuple("X", bindings.Str("1"))
+	t2 := bindings.MustTuple("X", bindings.Str("2"))
+	if _, err := g.Dispatch(protocol.Query, queryComp("r", cacheTestLang, bindings.NewRelation(t1, t2))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Dispatch(protocol.Query, queryComp("r", cacheTestLang, bindings.NewRelation(t2, t1))); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("service called %d times for reordered but equal relations, want 1", got)
+	}
+
+	// Same text content, different structure: join-equal (shared Value.Key)
+	// but NOT the same input — a cache hit here would be a wrong answer.
+	calls.Store(0)
+	fragA := bindings.Fragment(xmltree.MustParse(`<m><inner/>x</m>`).Root())
+	fragB := bindings.Fragment(xmltree.MustParse(`<n>x</n>`).Root())
+	if fragA.Key() != fragB.Key() {
+		t.Fatalf("test premise broken: fragments no longer share a join key")
+	}
+	relA := bindings.NewRelation(bindings.Tuple{"F": fragA})
+	relB := bindings.NewRelation(bindings.Tuple{"F": fragB})
+	if _, err := g.Dispatch(protocol.Query, queryComp("r", cacheTestLang, relA)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Dispatch(protocol.Query, queryComp("r", cacheTestLang, relB)); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("service called %d times for structurally different inputs, want 2 (no false hit)", got)
+	}
+}
+
+// TestCacheCoalescing drives N concurrent identical dispatches into a
+// gated service and asserts exactly one reaches it; every caller gets an
+// independent (non-aliased) copy of the answer. Run under -race.
+func TestCacheCoalescing(t *testing.T) {
+	hub := obs.NewHub()
+	var calls atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	svc := ServiceFunc(func(req *protocol.Request) (*protocol.Answer, error) {
+		if calls.Add(1) == 1 {
+			close(entered)
+			<-release
+		}
+		frag := xmltree.MustParse(`<v>ok</v>`).Root()
+		return &protocol.Answer{Rows: []protocol.AnswerRow{{
+			Tuple: bindings.Tuple{"V": bindings.Fragment(frag)},
+		}}}, nil
+	})
+	g := newCachedGRH(t, hub, DefaultCachePolicy, svc)
+
+	rel := bindings.NewRelation(bindings.MustTuple("X", bindings.Str("1")))
+	const n = 16
+	answers := make([]*protocol.Answer, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			answers[i], errs[i] = g.Dispatch(protocol.Query, queryComp("r", cacheTestLang, rel))
+		}(i)
+	}
+	<-entered // the leader is inside the service; everyone else must wait
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("service called %d times for %d concurrent identical dispatches, want 1", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("dispatch %d: %v", i, errs[i])
+		}
+		if len(answers[i].Rows) != 1 {
+			t.Fatalf("dispatch %d: %d rows, want 1", i, len(answers[i].Rows))
+		}
+	}
+	// Waiters either coalesced onto the leader's flight or hit the cache
+	// the leader filled; both avoid the upstream call.
+	m := hub.Metrics()
+	coalesced := m.Counter("grh_coalesced_total", "").Value()
+	hits := m.Counter("grh_cache_hits_total", "").Value()
+	if coalesced+hits != n-1 {
+		t.Errorf("coalesced=%d + hits=%d, want %d", coalesced, hits, n-1)
+	}
+	// Answers are independent copies: wrecking one leaves the rest intact.
+	answers[0].Rows[0].Tuple["V"].Node().Children = nil
+	for i := 1; i < n; i++ {
+		if got := answers[i].Rows[0].Tuple["V"].Node().TextContent(); got != "ok" {
+			t.Fatalf("answer %d aliased with answer 0: fragment text %q, want %q", i, got, "ok")
+		}
+	}
+}
+
+// TestActionsNeverCachedCoalescedOrSharded pins the idempotency rule: an
+// action dispatch must reach its service every single time, with its full
+// input relation, no matter how aggressive the throughput configuration —
+// mirroring the retry rule of the resilience layer.
+func TestActionsNeverCachedCoalescedOrSharded(t *testing.T) {
+	hub := obs.NewHub()
+	var calls atomic.Int64
+	var sizes sync.Map
+	svc := ServiceFunc(func(req *protocol.Request) (*protocol.Answer, error) {
+		sizes.Store(calls.Add(1), req.Bindings.Size())
+		return &protocol.Answer{}, nil
+	})
+	g := New(WithObs(hub),
+		WithCache(CachePolicy{MaxEntries: 1024, TTL: time.Hour}),
+		WithPartition(PartitionPolicy{MaxTuples: 1, MaxShards: 64}))
+	const lang = "http://test/action"
+	if err := g.Register(Descriptor{Language: lang, FrameworkAware: true, Local: svc}); err != nil {
+		t.Fatal(err)
+	}
+
+	rel := bindings.NewRelation()
+	for i := 0; i < 10; i++ {
+		rel.Add(bindings.MustTuple("X", bindings.Str(fmt.Sprint(i))))
+	}
+	comp := Component{
+		Rule:     "r",
+		Comp:     ruleml.Component{Kind: ruleml.ActionComponent, ID: "action[1]", Language: lang, Expression: xmltree.NewElement(lang, "do")},
+		Bindings: rel,
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := g.Dispatch(protocol.Action, comp); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := calls.Load(); got != n {
+		t.Fatalf("service saw %d action requests for %d identical dispatches, want every one", got, n)
+	}
+	sizes.Range(func(_, v any) bool {
+		if v.(int) != rel.Size() {
+			t.Fatalf("an action dispatch was sharded: service saw %d tuples, want %d", v.(int), rel.Size())
+		}
+		return true
+	})
+	m := hub.Metrics()
+	for _, name := range []string{"grh_cache_hits_total", "grh_coalesced_total", "grh_shards_total"} {
+		if got := m.Counter(name, "").Value(); got != 0 {
+			t.Errorf("%s = %d, want 0 for action dispatches", name, got)
+		}
+	}
+}
+
+// TestCacheErrorsNotCached: a failed dispatch must not populate the
+// cache; the next identical dispatch tries upstream again.
+func TestCacheErrorsNotCached(t *testing.T) {
+	var calls atomic.Int64
+	svc := ServiceFunc(func(req *protocol.Request) (*protocol.Answer, error) {
+		if calls.Add(1) == 1 {
+			return nil, fmt.Errorf("transient")
+		}
+		return &protocol.Answer{}, nil
+	})
+	g := newCachedGRH(t, nil, DefaultCachePolicy, svc)
+	rel := bindings.Unit()
+	if _, err := g.Dispatch(protocol.Query, queryComp("r", cacheTestLang, rel)); err == nil {
+		t.Fatal("first dispatch should fail")
+	}
+	if _, err := g.Dispatch(protocol.Query, queryComp("r", cacheTestLang, rel)); err != nil {
+		t.Fatalf("second dispatch: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("service called %d times, want 2 (errors are never cached)", got)
+	}
+}

@@ -88,8 +88,14 @@ type GRH struct {
 	retry    RetryPolicy
 	breakers *breakerSet // nil: circuit breaking disabled
 
-	// Clock and sleep hooks, replaced in tests to make retry/breaker
-	// timing deterministic.
+	// Throughput layer: answer cache + singleflight coalescing (nil:
+	// disabled together) and partitioned parallel dispatch.
+	cache     *answerCache
+	flights   *flightGroup
+	partition PartitionPolicy
+
+	// Clock and sleep hooks, replaced in tests to make retry/breaker/
+	// cache timing deterministic.
 	now   func() time.Time
 	sleep func(time.Duration)
 }
@@ -104,7 +110,18 @@ type metrics struct {
 	retries      *obs.CounterVec   // grh_retries_total{kind}
 	breakerState *obs.GaugeVec     // grh_breaker_state{endpoint}
 	breakerOpen  *obs.CounterVec   // grh_breaker_open_total{endpoint}
+
+	cacheHits      *obs.Counter   // grh_cache_hits_total
+	cacheMisses    *obs.Counter   // grh_cache_misses_total
+	cacheEvictions *obs.Counter   // grh_cache_evictions_total
+	coalesced      *obs.Counter   // grh_coalesced_total
+	shards         *obs.Counter   // grh_shards_total
+	shardFanout    *obs.Histogram // grh_shard_fanout
 }
+
+// shardFanoutBuckets are the grh_shard_fanout histogram bounds: shard
+// counts, not latencies.
+var shardFanoutBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
 
 func newMetrics(h *obs.Hub) metrics {
 	r := h.Metrics()
@@ -116,6 +133,13 @@ func newMetrics(h *obs.Hub) metrics {
 		retries:      r.CounterVec("grh_retries_total", "GRH dispatch retries by request kind (idempotent kinds only).", "kind"),
 		breakerState: r.GaugeVec("grh_breaker_state", "Circuit breaker state per service endpoint (0 closed, 1 half-open, 2 open).", "endpoint"),
 		breakerOpen:  r.CounterVec("grh_breaker_open_total", "Circuit breaker trips (transitions to open) per service endpoint.", "endpoint"),
+
+		cacheHits:      r.Counter("grh_cache_hits_total", "GRH answer cache hits (idempotent dispatches served without an upstream request)."),
+		cacheMisses:    r.Counter("grh_cache_misses_total", "GRH answer cache misses (idempotent dispatches that went upstream)."),
+		cacheEvictions: r.Counter("grh_cache_evictions_total", "GRH answer cache entries removed by LRU pressure or TTL expiry."),
+		coalesced:      r.Counter("grh_coalesced_total", "Concurrent identical dispatches coalesced onto another dispatch's upstream request."),
+		shards:         r.Counter("grh_shards_total", "Shards dispatched by partitioned parallel dispatch."),
+		shardFanout:    r.Histogram("grh_shard_fanout", "Shard fan-out per partitioned dispatch (number of concurrent shards).", shardFanoutBuckets),
 	}
 }
 
@@ -296,7 +320,25 @@ type Component struct {
 // Dispatch evaluates a component request and returns the service's answer.
 // Event registrations return an empty answer; detections arrive through the
 // event service's sink (in-process) or the ReplyTo callback (remote).
+//
+// Idempotent request kinds (queries and tests) additionally pass through
+// the throughput layer when configured: the answer cache and singleflight
+// coalescing (WithCache) and partitioned parallel dispatch
+// (WithPartition). Actions and event (un)registrations are never cached,
+// coalesced or sharded — they may have side effects.
 func (g *GRH) Dispatch(kind protocol.RequestKind, c Component) (*protocol.Answer, error) {
+	if !retryableKind(kind) || (g.cache == nil && !g.partition.Enabled()) {
+		return g.dispatchDirect(kind, c)
+	}
+	if g.cache == nil {
+		return g.dispatchPartitioned(kind, c)
+	}
+	return g.dispatchCoalesced(kind, c)
+}
+
+// dispatchDirect performs one uncached, unsharded dispatch: resolve the
+// processor and forward the request in the form it understands.
+func (g *GRH) dispatchDirect(kind protocol.RequestKind, c Component) (*protocol.Answer, error) {
 	g.met.requests.With(string(kind)).Inc()
 	start := time.Now()
 	mode := "aware"
@@ -315,6 +357,9 @@ func (g *GRH) Dispatch(kind protocol.RequestKind, c Component) (*protocol.Answer
 		// Directly addressed framework-unaware service (uri attribute)?
 		if c.Comp.Service != "" {
 			if d, ok := g.Lookup(c.Comp.Language); !ok || !d.FrameworkAware {
+				if ok && !kindAllowed(d, c.Comp.Kind) {
+					return nil, g.kindRejected(d, c)
+				}
 				mode = "opaque"
 				return g.opaqueMediate(kind, c)
 			}
@@ -342,13 +387,15 @@ func (g *GRH) Dispatch(kind protocol.RequestKind, c Component) (*protocol.Answer
 			obs.FieldComponent, c.Comp.ID, "error", err.Error())
 		return nil, err
 	}
+	// The kind restriction applies to every resolved descriptor —
+	// framework-unaware ones included, so a query-only opaque service can
+	// never be sent an action dispatch.
+	if !kindAllowed(d, c.Comp.Kind) {
+		return nil, g.kindRejected(d, c)
+	}
 	if !d.FrameworkAware {
 		mode = "opaque"
 		return g.opaqueMediateVia(kind, c, d.Endpoint)
-	}
-	if !kindAllowed(d, c.Comp.Kind) {
-		g.met.errors.With("resolve").Inc()
-		return nil, fmt.Errorf("grh: processor %q does not accept %s components", d.Language, c.Comp.Kind)
 	}
 	if d.Local != nil {
 		mode = "local"
@@ -403,6 +450,17 @@ func (d *Descriptor) name() string {
 		return d.Name
 	}
 	return d.Language
+}
+
+// kindRejected classifies and logs a dispatch refused because the
+// resolved processor does not accept the component's kind.
+func (g *GRH) kindRejected(d *Descriptor, c Component) error {
+	g.met.errors.With("resolve").Inc()
+	g.log.Error("grh dispatch failed", "reason", "resolve",
+		obs.FieldTraceID, c.Trace.ID(), obs.FieldRule, c.Rule,
+		obs.FieldComponent, c.Comp.ID, "service", d.name(),
+		"error", fmt.Sprintf("kind %s not accepted", c.Comp.Kind))
+	return fmt.Errorf("grh: processor %q does not accept %s components", d.Language, c.Comp.Kind)
 }
 
 func kindAllowed(d *Descriptor, k ruleml.ComponentKind) bool {

@@ -1,0 +1,175 @@
+// Partitioned parallel dispatch: when the input relation of an
+// idempotent dispatch exceeds a configurable shard size, its tuples are
+// split into K shards, dispatched concurrently through the ordinary
+// retry/breaker path, and the per-shard answers merged. This is valid
+// because query/test evaluation is per-tuple independent under the
+// paper's semantics: <eca:variable> components produce functional
+// results per input tuple (Fig. 8), so shard answers merge by result
+// append; plain components produce answer tuples the engine natural-joins
+// with the full relation (Fig. 11), so shard answers merge by relation
+// union. Actions are never sharded — they may have side effects, and
+// per-tuple independence is a property of evaluation, not execution.
+
+package grh
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bindings"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+)
+
+// DefaultMaxShards caps the shard fan-out when the policy does not set
+// its own bound.
+const DefaultMaxShards = 8
+
+// PartitionPolicy configures partitioned parallel dispatch. The zero
+// value disables partitioning.
+type PartitionPolicy struct {
+	// MaxTuples is the shard size: input relations with more tuples are
+	// split into ⌈n/MaxTuples⌉ shards. Values ≤ 0 disable partitioning.
+	MaxTuples int
+	// MaxShards caps the concurrent fan-out per dispatch
+	// (DefaultMaxShards when 0); shards grow beyond MaxTuples instead.
+	MaxShards int
+}
+
+// DefaultPartitionPolicy shards relations beyond 64 tuples, at most 8
+// ways.
+var DefaultPartitionPolicy = PartitionPolicy{MaxTuples: 64, MaxShards: DefaultMaxShards}
+
+// Enabled reports whether the policy partitions at all.
+func (p PartitionPolicy) Enabled() bool { return p.MaxTuples > 0 }
+
+func (p PartitionPolicy) maxShards() int {
+	if p.MaxShards <= 0 {
+		return DefaultMaxShards
+	}
+	return p.MaxShards
+}
+
+// WithPartition enables partitioned parallel dispatch for idempotent
+// request kinds. A policy with MaxTuples ≤ 0 keeps it disabled.
+func WithPartition(p PartitionPolicy) Option {
+	return func(g *GRH) { g.partition = p }
+}
+
+// splitRelation slices a relation into at most maxShards balanced,
+// contiguous shards of roughly the policy's shard size. The tuples are
+// shared with the input (dispatch treats bindings as read-only).
+func splitRelation(r *bindings.Relation, p PartitionPolicy) []*bindings.Relation {
+	tuples := r.Tuples()
+	n := len(tuples)
+	k := (n + p.MaxTuples - 1) / p.MaxTuples
+	if m := p.maxShards(); k > m {
+		k = m
+	}
+	if k <= 1 {
+		return []*bindings.Relation{r}
+	}
+	out := make([]*bindings.Relation, 0, k)
+	for i := 0; i < k; i++ {
+		lo, hi := i*n/k, (i+1)*n/k
+		out = append(out, bindings.NewRelation(tuples[lo:hi]...))
+	}
+	return out
+}
+
+// dispatchPartitioned dispatches one idempotent request, sharding its
+// input relation when the partition policy says so. Shards travel
+// through dispatchDirect, so each gets the full resilience treatment
+// (per-endpoint breaker admission, retry with backoff); one failed shard
+// fails the whole dispatch.
+func (g *GRH) dispatchPartitioned(kind protocol.RequestKind, c Component) (*protocol.Answer, error) {
+	p := g.partition
+	if !p.Enabled() || c.Bindings == nil || c.Bindings.Size() <= p.MaxTuples {
+		return g.dispatchDirect(kind, c)
+	}
+	shards := splitRelation(c.Bindings, p)
+	if len(shards) == 1 {
+		return g.dispatchDirect(kind, c)
+	}
+	g.met.shards.Add(int64(len(shards)))
+	g.met.shardFanout.Observe(float64(len(shards)))
+	answers := make([]*protocol.Answer, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, rel := range shards {
+		wg.Add(1)
+		go func(i int, rel *bindings.Relation) {
+			defer wg.Done()
+			sc := c
+			sc.Bindings = rel
+			start := time.Now()
+			answers[i], errs[i] = g.dispatchDirect(kind, sc)
+			if c.Trace != nil {
+				rows := 0
+				if answers[i] != nil {
+					rows = len(answers[i].Rows)
+				}
+				sp := traceSpan(sc, "shard", fmt.Sprintf("%d/%d", i+1, len(shards)), rel.Size(), rows, start)
+				if errs[i] != nil {
+					sp.Err = errs[i].Error()
+				}
+				c.Trace.AddSpan(sp)
+			}
+		}(i, rel)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("grh: shard %d/%d of %s: %w", i+1, len(shards), c.Comp.ID, err)
+		}
+	}
+	return mergeShardAnswers(c, answers), nil
+}
+
+// mergeShardAnswers combines per-shard answers into the answer the
+// unsharded dispatch would have produced. <eca:variable> components
+// merge by result append — each row keeps the functional results
+// produced for its tuple (Fig. 8) — while plain components merge by
+// relation union, eliminating duplicate tuples before the engine's
+// natural join (Fig. 11). Server-side trace spans of all shards are
+// concatenated under the first shard's trace identity.
+func mergeShardAnswers(c Component, parts []*protocol.Answer) *protocol.Answer {
+	merged := &protocol.Answer{RuleID: c.Rule, Component: c.Comp.ID}
+	if c.Comp.Variable != "" {
+		for _, p := range parts {
+			merged.Rows = append(merged.Rows, p.Rows...)
+		}
+	} else {
+		seen := bindings.NewRelation()
+		for _, p := range parts {
+			for _, row := range p.Rows {
+				if seen.Add(row.Tuple) {
+					merged.Rows = append(merged.Rows, row)
+				}
+			}
+		}
+	}
+	for _, p := range parts {
+		if merged.TraceID == "" && p.TraceID != "" {
+			merged.TraceID, merged.TraceParent = p.TraceID, p.TraceParent
+		}
+		merged.Trace = append(merged.Trace, p.Trace...)
+	}
+	return merged
+}
+
+// traceSpan builds a GRH-side span (cache verdicts, shard dispatches)
+// for the component's live rule-instance trace.
+func traceSpan(c Component, stage, mode string, in, out int, start time.Time) obs.Span {
+	return obs.Span{
+		Stage:     stage,
+		Component: c.Comp.ID,
+		Language:  c.Comp.Language,
+		Mode:      mode,
+		TuplesIn:  in,
+		TuplesOut: out,
+		Start:     start,
+		Duration:  time.Since(start),
+	}
+}

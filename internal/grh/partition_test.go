@@ -1,0 +1,253 @@
+package grh
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/bindings"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/ruleml"
+	"repro/internal/xmltree"
+)
+
+const partitionTestLang = "http://test/partition"
+
+// derivingEcho echoes every input tuple with a result derived from its
+// bindings, so a wrong shard/merge produces visibly wrong rows.
+func derivingEcho(calls *atomic.Int64) Service {
+	return ServiceFunc(func(req *protocol.Request) (*protocol.Answer, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		a := &protocol.Answer{RuleID: req.RuleID, Component: req.Component}
+		for _, t := range req.Bindings.Tuples() {
+			a.Rows = append(a.Rows, protocol.AnswerRow{
+				Tuple:   t,
+				Results: []bindings.Value{bindings.Str("res:" + t["V"].AsString())},
+			})
+		}
+		return a, nil
+	})
+}
+
+func partitionRelation(n int) *bindings.Relation {
+	r := bindings.NewRelation()
+	for i := 0; i < n; i++ {
+		r.Add(bindings.MustTuple(
+			"K", bindings.Str(fmt.Sprintf("k%d", i%7)),
+			"V", bindings.Str(fmt.Sprintf("v%d", i)),
+		))
+	}
+	return r
+}
+
+// canonicalRows renders an answer's rows as a sorted multiset, the
+// order-insensitive form partitioned and direct dispatch must agree on.
+func canonicalRows(a *protocol.Answer) []string {
+	out := make([]string, 0, len(a.Rows))
+	for _, row := range a.Rows {
+		parts := []string{row.Tuple.String()}
+		for _, r := range row.Results {
+			parts = append(parts, r.String())
+		}
+		out = append(out, strings.Join(parts, "|"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestPartitionEquivalence is the property test of the ISSUE's acceptance
+// criteria: for shard sizes {1, 2, 7, 64} and a spread of relation sizes,
+// a partitioned dispatch returns exactly the rows of the unsharded one —
+// for plain components (relation-union merge) and eca:variable components
+// (result-append merge) alike.
+func TestPartitionEquivalence(t *testing.T) {
+	for _, variable := range []string{"", "R"} {
+		for _, shardSize := range []int{1, 2, 7, 64} {
+			for _, n := range []int{0, 1, 2, 7, 63, 64, 65, 130} {
+				name := fmt.Sprintf("var=%q/shard=%d/n=%d", variable, shardSize, n)
+				t.Run(name, func(t *testing.T) {
+					rel := partitionRelation(n)
+					comp := Component{
+						Rule: "r",
+						Comp: ruleml.Component{
+							Kind: ruleml.QueryComponent, ID: "query[1]",
+							Language: partitionTestLang, Variable: variable,
+							Expression: xmltree.NewElement(partitionTestLang, "q"),
+						},
+						Bindings: rel,
+					}
+
+					direct := New()
+					if err := direct.Register(Descriptor{Language: partitionTestLang, FrameworkAware: true, Local: derivingEcho(nil)}); err != nil {
+						t.Fatal(err)
+					}
+					want, err := direct.Dispatch(protocol.Query, comp)
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					var calls atomic.Int64
+					sharded := New(WithPartition(PartitionPolicy{MaxTuples: shardSize, MaxShards: 8}))
+					if err := sharded.Register(Descriptor{Language: partitionTestLang, FrameworkAware: true, Local: derivingEcho(&calls)}); err != nil {
+						t.Fatal(err)
+					}
+					got, err := sharded.Dispatch(protocol.Query, comp)
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					w, g := canonicalRows(want), canonicalRows(got)
+					if len(w) != len(g) {
+						t.Fatalf("partitioned dispatch: %d rows, direct: %d", len(g), len(w))
+					}
+					for i := range w {
+						if w[i] != g[i] {
+							t.Fatalf("row %d differs:\npartitioned: %s\ndirect:      %s", i, g[i], w[i])
+						}
+					}
+					if n > shardSize {
+						if c := calls.Load(); c < 2 {
+							t.Fatalf("expected a sharded dispatch (≥2 service calls), got %d", c)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPartitionDeduplicatesPlainRows: two shards that produce the same
+// answer tuple must merge to one row for plain components — the union the
+// engine would otherwise join twice.
+func TestPartitionDeduplicatesPlainRows(t *testing.T) {
+	svc := ServiceFunc(func(req *protocol.Request) (*protocol.Answer, error) {
+		// Same constant answer tuple regardless of input.
+		return &protocol.Answer{Rows: []protocol.AnswerRow{
+			{Tuple: bindings.MustTuple("C", bindings.Str("shared"))},
+		}}, nil
+	})
+	g := New(WithPartition(PartitionPolicy{MaxTuples: 1, MaxShards: 8}))
+	if err := g.Register(Descriptor{Language: partitionTestLang, FrameworkAware: true, Local: svc}); err != nil {
+		t.Fatal(err)
+	}
+	comp := Component{
+		Rule: "r",
+		Comp: ruleml.Component{Kind: ruleml.QueryComponent, ID: "query[1]",
+			Language: partitionTestLang, Expression: xmltree.NewElement(partitionTestLang, "q")},
+		Bindings: partitionRelation(6),
+	}
+	a, err := g.Dispatch(protocol.Query, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 1 {
+		t.Fatalf("merged answer has %d rows, want 1 (shard union must deduplicate)", len(a.Rows))
+	}
+}
+
+// TestPartitionShardFailure: one failing shard fails the dispatch with an
+// error naming the shard.
+func TestPartitionShardFailure(t *testing.T) {
+	svc := ServiceFunc(func(req *protocol.Request) (*protocol.Answer, error) {
+		for _, tu := range req.Bindings.Tuples() {
+			if tu["V"].AsString() == "v5" {
+				return nil, fmt.Errorf("poisoned tuple")
+			}
+		}
+		return &protocol.Answer{}, nil
+	})
+	g := New(WithPartition(PartitionPolicy{MaxTuples: 2, MaxShards: 8}))
+	if err := g.Register(Descriptor{Language: partitionTestLang, FrameworkAware: true, Local: svc}); err != nil {
+		t.Fatal(err)
+	}
+	comp := Component{
+		Rule: "r",
+		Comp: ruleml.Component{Kind: ruleml.QueryComponent, ID: "query[1]",
+			Language: partitionTestLang, Expression: xmltree.NewElement(partitionTestLang, "q")},
+		Bindings: partitionRelation(10),
+	}
+	_, err := g.Dispatch(protocol.Query, comp)
+	if err == nil {
+		t.Fatal("dispatch with a failing shard should fail")
+	}
+	if !strings.Contains(err.Error(), "shard") || !strings.Contains(err.Error(), "poisoned tuple") {
+		t.Fatalf("error %q should name the shard and wrap the cause", err)
+	}
+}
+
+// TestSplitRelation checks the shard invariants directly: shards are
+// non-empty, contiguous, balanced within one tuple, capped at MaxShards,
+// and their concatenation is the input.
+func TestSplitRelation(t *testing.T) {
+	for _, shardSize := range []int{1, 2, 7, 64} {
+		for _, n := range []int{1, 2, 7, 64, 65, 130, 513} {
+			p := PartitionPolicy{MaxTuples: shardSize, MaxShards: 8}
+			rel := partitionRelation(n)
+			shards := splitRelation(rel, p)
+			if len(shards) > p.MaxShards {
+				t.Fatalf("n=%d shard=%d: %d shards exceed cap %d", n, shardSize, len(shards), p.MaxShards)
+			}
+			var total int
+			var sizes []int
+			var concat []bindings.Tuple
+			for _, s := range shards {
+				if s.Size() == 0 && n > 0 {
+					t.Fatalf("n=%d shard=%d: empty shard", n, shardSize)
+				}
+				total += s.Size()
+				sizes = append(sizes, s.Size())
+				concat = append(concat, s.Tuples()...)
+			}
+			if total != n {
+				t.Fatalf("n=%d shard=%d: shards hold %d tuples", n, shardSize, total)
+			}
+			for i, tu := range rel.Tuples() {
+				if !tu.Equal(concat[i]) {
+					t.Fatalf("n=%d shard=%d: tuple %d reordered", n, shardSize, i)
+				}
+			}
+			min, max := sizes[0], sizes[0]
+			for _, s := range sizes {
+				if s < min {
+					min = s
+				}
+				if s > max {
+					max = s
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("n=%d shard=%d: unbalanced shards %v", n, shardSize, sizes)
+			}
+		}
+	}
+}
+
+// TestPartitionShardMetrics: a sharded dispatch records its fan-out.
+func TestPartitionShardMetrics(t *testing.T) {
+	hub := obs.NewHub()
+	g := New(WithObs(hub), WithPartition(PartitionPolicy{MaxTuples: 2, MaxShards: 8}))
+	if err := g.Register(Descriptor{Language: partitionTestLang, FrameworkAware: true, Local: derivingEcho(nil)}); err != nil {
+		t.Fatal(err)
+	}
+	comp := Component{
+		Rule: "r",
+		Comp: ruleml.Component{Kind: ruleml.QueryComponent, ID: "query[1]",
+			Language: partitionTestLang, Expression: xmltree.NewElement(partitionTestLang, "q")},
+		Bindings: partitionRelation(10),
+	}
+	if _, err := g.Dispatch(protocol.Query, comp); err != nil {
+		t.Fatal(err)
+	}
+	m := hub.Metrics()
+	if got := m.Counter("grh_shards_total", "").Value(); got != 5 {
+		t.Errorf("grh_shards_total = %d, want 5 (10 tuples / shard size 2)", got)
+	}
+	if got := m.Histogram("grh_shard_fanout", "", nil).Count(); got != 1 {
+		t.Errorf("grh_shard_fanout observations = %d, want 1", got)
+	}
+}

@@ -177,3 +177,68 @@ func TestErrorTaxonomy(t *testing.T) {
 		})
 	}
 }
+
+// TestKindRestrictionAppliesToOpaqueServices pins the fix for a dispatch
+// ordering bug: the resolved descriptor's kind restriction used to be
+// checked only after the framework-aware branch, so a framework-unaware
+// (opaque) processor registered for queries could still be sent action
+// dispatches. The restriction must hold on every resolution path.
+func TestKindRestrictionAppliesToOpaqueServices(t *testing.T) {
+	var hits int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		fmt.Fprint(w, "<ok/>")
+	}))
+	defer srv.Close()
+
+	hub := obs.NewHub()
+	g := New(WithObs(hub))
+	const lang = "http://test/opaque-query-only"
+	if err := g.Register(Descriptor{
+		Language:       lang,
+		Name:           "query-only opaque store",
+		Kinds:          []ruleml.ComponentKind{ruleml.QueryComponent},
+		FrameworkAware: false,
+		Endpoint:       srv.URL,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	action := func(service string) Component {
+		return Component{
+			Rule: "r",
+			Comp: ruleml.Component{
+				Kind: ruleml.ActionComponent, ID: "action[1]",
+				Language: lang, Opaque: true, Service: service,
+				Text: "//do",
+			},
+			Bindings: bindings.Unit(),
+		}
+	}
+
+	t.Run("resolved descriptor", func(t *testing.T) {
+		_, err := g.Dispatch(protocol.Action, action(""))
+		if err == nil || !strings.Contains(err.Error(), "does not accept action components") {
+			t.Fatalf("err = %v, want kind rejection", err)
+		}
+	})
+	t.Run("pinned service uri", func(t *testing.T) {
+		_, err := g.Dispatch(protocol.Action, action(srv.URL))
+		if err == nil || !strings.Contains(err.Error(), "does not accept action components") {
+			t.Fatalf("err = %v, want kind rejection", err)
+		}
+	})
+	t.Run("allowed kind still dispatches", func(t *testing.T) {
+		q := action("")
+		q.Comp.Kind = ruleml.QueryComponent
+		q.Comp.ID = "query[1]"
+		if _, err := g.Dispatch(protocol.Query, q); err != nil {
+			t.Fatalf("query dispatch: %v", err)
+		}
+	})
+	if hits != 1 {
+		t.Fatalf("opaque endpoint saw %d requests, want 1 (only the allowed query)", hits)
+	}
+	if got := hub.Metrics().CounterVec("grh_errors_total", "", "reason").With("resolve").Value(); got != 2 {
+		t.Errorf("grh_errors_total{reason=resolve} = %d, want 2", got)
+	}
+}

@@ -337,6 +337,33 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 	}).(*Histogram)
 }
 
+// Merged returns a snapshot histogram aggregating the bucket counts and
+// sums of every child in the family — the distribution across all label
+// values, e.g. a latency quantile over every language/mode at once. The
+// result is detached: observing into it does not touch the registry.
+func (v *HistogramVec) Merged() *Histogram {
+	if v == nil {
+		return nil
+	}
+	m := &Histogram{bounds: v.f.buckets, counts: make([]atomic.Int64, len(v.f.buckets)+1)}
+	v.f.mu.RLock()
+	defer v.f.mu.RUnlock()
+	var sum float64
+	for _, c := range v.f.children {
+		h, ok := c.(*Histogram)
+		if !ok {
+			continue
+		}
+		for i := range h.counts {
+			m.counts[i].Add(h.counts[i].Load())
+		}
+		m.count.Add(h.count.Load())
+		sum += h.Sum()
+	}
+	m.sumBits.Store(math.Float64bits(sum))
+	return m
+}
+
 // --- exposition ---------------------------------------------------------------------
 
 // WritePrometheus renders every family in Prometheus text exposition

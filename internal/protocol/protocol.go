@@ -137,6 +137,41 @@ func NewAnswer(ruleID, component string, rel *bindings.Relation) *Answer {
 	return a
 }
 
+// Clone returns a deep copy of the answer: rows, tuples, values (XML
+// fragments included) and trace spans share no memory with the original.
+// The GRH answer cache relies on this to hand every rule instance an
+// independent copy — a cached relation must never be aliased across
+// instances.
+func (a *Answer) Clone() *Answer {
+	if a == nil {
+		return nil
+	}
+	b := *a
+	if a.Trace != nil {
+		b.Trace = append([]TraceSpan(nil), a.Trace...)
+	}
+	if a.Rows != nil {
+		b.Rows = make([]AnswerRow, len(a.Rows))
+		for i, r := range a.Rows {
+			var nr AnswerRow
+			if r.Tuple != nil {
+				nr.Tuple = make(bindings.Tuple, len(r.Tuple))
+				for k, v := range r.Tuple {
+					nr.Tuple[k] = v.Clone()
+				}
+			}
+			if r.Results != nil {
+				nr.Results = make([]bindings.Value, len(r.Results))
+				for j, v := range r.Results {
+					nr.Results[j] = v.Clone()
+				}
+			}
+			b.Rows[i] = nr
+		}
+	}
+	return &b
+}
+
 // Relation collects the answer tuples (without results) into a relation.
 func (a *Answer) Relation() *bindings.Relation {
 	rel := bindings.NewRelation()

@@ -106,6 +106,15 @@ type Config struct {
 	// value disables it; grh.DefaultBreakerPolicy is a sane starting
 	// point.
 	Breaker grh.BreakerPolicy
+	// Cache enables the GRH answer cache and request coalescing for
+	// idempotent dispatches (queries and tests; never actions). The zero
+	// value disables it; grh.DefaultCachePolicy is a sane starting point.
+	Cache grh.CachePolicy
+	// Partition enables partitioned parallel dispatch: large input
+	// relations of idempotent dispatches are sharded and dispatched
+	// concurrently. The zero value disables it;
+	// grh.DefaultPartitionPolicy is a sane starting point.
+	Partition grh.PartitionPolicy
 }
 
 // System is one wired deployment of the architecture.
@@ -137,6 +146,7 @@ func NewLocal(cfg Config) (*System, error) {
 		Store:    services.NewDocStore(),
 		GRH: grh.New(grh.WithObs(cfg.Obs), grh.WithTimeout(cfg.HTTPTimeout),
 			grh.WithRetry(cfg.Retry), grh.WithBreaker(cfg.Breaker),
+			grh.WithCache(cfg.Cache), grh.WithPartition(cfg.Partition),
 			grh.WithLog(cfg.Log)),
 		Notifier: &Notifier{},
 		Obs:      cfg.Obs,

@@ -1,0 +1,68 @@
+package system_test
+
+// End-to-end equivalence for the GRH throughput layer: the car-rental
+// scenario must produce exactly the same notifications whether the
+// answer cache, partitioned dispatch (across shard sizes), or neither
+// is enabled. The throughput layer is an optimization — it must never
+// change what rules fire.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/domain/travel"
+	"repro/internal/grh"
+	"repro/internal/system"
+)
+
+func notifications(t *testing.T, cfg system.Config) []string {
+	t.Helper()
+	sc, cleanup, err := travel.NewScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	defer sc.Close()
+
+	// A mix of offers and non-offers, with repeats so the cache can hit.
+	sc.Book("John Doe", "Munich", "Paris")
+	sc.Book("Jane Roe", "Berlin", "Paris") // class A, Paris has B and D → no offer
+	sc.Book("John Doe", "Munich", "Paris")
+	sc.Book("John Doe", "Munich", "Paris")
+
+	var out []string
+	for _, n := range sc.Notifier.Sent() {
+		out = append(out, n.Message.String())
+	}
+	return out
+}
+
+func TestThroughputLayerEquivalence(t *testing.T) {
+	baseline := notifications(t, system.Config{})
+	if len(baseline) != 3 {
+		t.Fatalf("baseline produced %d notifications, want 3", len(baseline))
+	}
+
+	configs := map[string]system.Config{
+		"cache":           {Cache: grh.DefaultCachePolicy},
+		"cache+partition": {Cache: grh.DefaultCachePolicy, Partition: grh.DefaultPartitionPolicy},
+	}
+	for _, maxTuples := range []int{1, 2, 7, 64} {
+		configs[fmt.Sprintf("partition/maxTuples=%d", maxTuples)] = system.Config{
+			Partition: grh.PartitionPolicy{MaxTuples: maxTuples, MaxShards: 8},
+		}
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			got := notifications(t, cfg)
+			if len(got) != len(baseline) {
+				t.Fatalf("%d notifications, baseline %d:\n%v", len(got), len(baseline), got)
+			}
+			for i := range baseline {
+				if got[i] != baseline[i] {
+					t.Errorf("notification %d differs:\ngot:      %s\nbaseline: %s", i, got[i], baseline[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// doRequest performs one HTTP exchange against the daemon and writes the
+// response body to out. On a non-2xx status the body (the daemon's error
+// message) is part of the returned error instead of being discarded, so
+// the user sees why the daemon refused.
+func doRequest(out io.Writer, method, url string, body io.Reader) error {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/xml")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg := strings.TrimSpace(string(data))
+		if msg == "" {
+			msg = "(empty response body)"
+		}
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, msg)
+	}
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(data)
+	return err
+}
+
+func post(url string, body io.Reader) error {
+	return doRequest(os.Stdout, http.MethodPost, url, body)
+}
+
+func get(url string) error {
+	return doRequest(os.Stdout, http.MethodGet, url, nil)
+}
+
+func del(url string) error {
+	return doRequest(os.Stdout, http.MethodDelete, url, nil)
+}
+
+func postFile(url, file string) error {
+	var r io.Reader
+	if file == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	return post(url, r)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestDoRequestPrintsBodyOnSuccess(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			t.Errorf("method = %s", r.Method)
+		}
+		w.Write([]byte("rule-1\nrule-2\n"))
+	}))
+	defer srv.Close()
+	var out bytes.Buffer
+	if err := doRequest(&out, http.MethodGet, srv.URL, nil); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "rule-1\nrule-2\n" {
+		t.Errorf("out = %q", out.String())
+	}
+}
+
+// The daemon's error message (the response body) must surface in the
+// returned error rather than being discarded.
+func TestDoRequestSurfacesErrorBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `ruleml: rule has no event component`, http.StatusUnprocessableEntity)
+	}))
+	defer srv.Close()
+	var out bytes.Buffer
+	err := doRequest(&out, http.MethodPost, srv.URL, strings.NewReader("<bogus/>"))
+	if err == nil {
+		t.Fatal("want error for 422")
+	}
+	for _, want := range []string{"422", "rule has no event component"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	if out.Len() != 0 {
+		t.Errorf("nothing should be written on error, got %q", out.String())
+	}
+}
+
+func TestDoRequestEmptyErrorBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	err := doRequest(&bytes.Buffer{}, http.MethodDelete, srv.URL, nil)
+	if err == nil || !strings.Contains(err.Error(), "empty response body") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDoRequestSetsContentTypeOnPost(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ct := r.Header.Get("Content-Type"); ct != "application/xml" {
+			t.Errorf("Content-Type = %q", ct)
+		}
+	}))
+	defer srv.Close()
+	if err := doRequest(&bytes.Buffer{}, http.MethodPost, srv.URL, strings.NewReader("<e/>")); err != nil {
+		t.Fatal(err)
+	}
+}

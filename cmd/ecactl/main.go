@@ -1,6 +1,7 @@
 // Command ecactl is the client for an ecad daemon:
 //
 //	ecactl [-s http://127.0.0.1:8080] register rule.xml
+//	ecactl [-s http://127.0.0.1:8080] unregister rule-id
 //	ecactl [-s http://127.0.0.1:8080] event event.xml
 //	ecactl [-s http://127.0.0.1:8080] event -            (read from stdin)
 //	ecactl [-s http://127.0.0.1:8080] book "John Doe" Munich Paris
@@ -11,9 +12,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
+	"net/url"
 	"os"
 	"strings"
 
@@ -34,6 +34,11 @@ func main() {
 			usage()
 		}
 		err = postFile(*server+"/engine/rules", args[1])
+	case "unregister":
+		if len(args) != 2 {
+			usage()
+		}
+		err = del(*server + "/engine/rules/" + url.PathEscape(args[1]))
 	case "event":
 		if len(args) != 2 {
 			usage()
@@ -47,7 +52,7 @@ func main() {
 	case "stats":
 		err = get(*server + "/engine/stats")
 	case "rules":
-		err = get(*server + "/engine/rules")
+		err = get(*server + "/engine/rules?format=ids")
 	default:
 		usage()
 	}
@@ -57,49 +62,6 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ecactl [-s URL] register <rule.xml> | event <file|-> | book <person> <from> <to> | rules | stats`)
+	fmt.Fprintln(os.Stderr, `usage: ecactl [-s URL] register <rule.xml> | unregister <rule-id> | event <file|-> | book <person> <from> <to> | rules | stats`)
 	os.Exit(2)
-}
-
-func postFile(url, file string) error {
-	var r io.Reader
-	if file == "-" {
-		r = os.Stdin
-	} else {
-		f, err := os.Open(file)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		r = f
-	}
-	return post(url, r)
-}
-
-func post(url string, body io.Reader) error {
-	resp, err := http.Post(url, "application/xml", body)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	out, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(out)))
-	}
-	fmt.Print(string(out))
-	return nil
-}
-
-func get(url string) error {
-	resp, err := http.Get(url)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	out, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(out)))
-	}
-	fmt.Print(string(out))
-	return nil
 }

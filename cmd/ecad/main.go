@@ -9,7 +9,8 @@
 //	     [-datalog rules.dl] [-travel] [-distribute] [-metrics] [-pprof] [-v] \
 //	     [-log-level info] [-log-format text|json] \
 //	     [-retries N] [-breaker-failures N] [-breaker-cooldown 30s] \
-//	     [-cache-entries N] [-cache-ttl 30s] [-shard-tuples N] [-max-shards K]
+//	     [-cache-entries N] [-cache-ttl 30s] [-shard-tuples N] [-max-shards K] \
+//	     [-data-dir DIR] [-fsync always|interval|never] [-snapshot-every N]
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the HTTP listener
 // stops accepting requests, then the engine drains every in-flight rule
@@ -17,6 +18,12 @@
 // the GRH resilience layer (see docs/RESILIENCE.md); -cache-* and
 // -shard-*/-max-shards configure the GRH throughput layer (see
 // docs/PERFORMANCE.md).
+//
+// With -data-dir the daemon is durable: rule registrations and accepted
+// events are written to a checksummed write-ahead journal under DIR, and
+// on start the daemon recovers the previous run's rules and any orphaned
+// events before serving traffic (see docs/DURABILITY.md). Without
+// -data-dir everything stays in memory, the historical behaviour.
 //
 // With -travel the daemon preloads the paper's car-rental scenario
 // (documents, opaque service endpoints and the Fig. 4 rule). With
@@ -27,6 +34,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -46,6 +54,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/ruleml"
+	"repro/internal/store"
 	"repro/internal/system"
 	"repro/internal/xmltree"
 )
@@ -74,6 +83,9 @@ type options struct {
 	cacheTTL        time.Duration
 	shardTuples     int
 	maxShards       int
+	dataDir         string
+	fsync           string
+	snapshotEvery   int
 	rules           []string
 	docs            []string
 }
@@ -97,6 +109,9 @@ func main() {
 	flag.DurationVar(&o.cacheTTL, "cache-ttl", grh.DefaultCacheTTL, "how long a cached answer may be served (staleness bound)")
 	flag.IntVar(&o.shardTuples, "shard-tuples", 0, "shard idempotent dispatches whose input relation exceeds this many tuples (0 disables partitioning)")
 	flag.IntVar(&o.maxShards, "max-shards", grh.DefaultMaxShards, "concurrent shard fan-out cap per partitioned dispatch")
+	flag.StringVar(&o.dataDir, "data-dir", "", "durable store directory for the rule/event journal (empty = in-memory only)")
+	flag.StringVar(&o.fsync, "fsync", string(store.FsyncInterval), "journal fsync policy: always, interval or never")
+	flag.IntVar(&o.snapshotEvery, "snapshot-every", store.DefaultSnapshotEvery, "journal records between snapshot + compaction (negative disables automatic snapshots)")
 	var rules, docs repeated
 	flag.Var(&rules, "rule", "rule file to register at startup (repeatable)")
 	flag.Var(&docs, "doc", "uri=file pair to load into the document store (repeatable)")
@@ -142,6 +157,22 @@ func run(o options) error {
 	}
 	if o.shardTuples > 0 {
 		cfg.Partition = grh.PartitionPolicy{MaxTuples: o.shardTuples, MaxShards: o.maxShards}
+	}
+	if o.dataDir != "" {
+		policy, err := store.ParseFsyncPolicy(o.fsync)
+		if err != nil {
+			return fmt.Errorf("-fsync: %w", err)
+		}
+		st, err := store.Open(o.dataDir, store.Options{
+			Fsync:         policy,
+			SnapshotEvery: o.snapshotEvery,
+			Obs:           cfg.Obs,
+			Log:           logger,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Store = st
 	}
 	if o.datalogSrc != "" {
 		src, err := os.ReadFile(o.datalogSrc)
@@ -231,15 +262,39 @@ func run(o options) error {
 		}
 		logger.Info("distributed mode: component traffic routed over HTTP", "base", base)
 	}
+	if sys.Durable != nil {
+		stats, err := sys.Recover()
+		if err != nil {
+			return err
+		}
+		logger.Info("durable store recovered", "dir", o.dataDir, "fsync", o.fsync,
+			"rules", stats.Rules, "events", stats.Events, "skipped", stats.Skipped)
+	}
+	// A startup rule colliding with a recovered one (same id, e.g. the
+	// car-rental rule after a restart) is already live — not an error.
+	registerStartup := func(rule *ruleml.Rule) (bool, error) {
+		err := sys.Engine.Register(rule)
+		if err == nil {
+			return true, nil
+		}
+		if sys.Durable != nil && errors.Is(err, engine.ErrDuplicateRule) {
+			logger.Info("rule already recovered from the durable store", "rule", rule.ID)
+			return false, nil
+		}
+		return false, err
+	}
 	if o.loadTravel {
 		rule, err := ruleml.ParseString(travel.RuleXML(base+"/opaque/store", base+"/opaque/xquery"))
 		if err != nil {
 			return err
 		}
-		if err := sys.Engine.Register(rule); err != nil {
+		fresh, err := registerStartup(rule)
+		if err != nil {
 			return err
 		}
-		logger.Info("rule registered", "rule", rule.ID, "source", "car-rental running example")
+		if fresh {
+			logger.Info("rule registered", "rule", rule.ID, "source", "car-rental running example")
+		}
 	}
 	for _, file := range o.rules {
 		src, err := os.ReadFile(file)
@@ -250,10 +305,13 @@ func run(o options) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", file, err)
 		}
-		if err := sys.Engine.Register(rule); err != nil {
+		fresh, err := registerStartup(rule)
+		if err != nil {
 			return fmt.Errorf("%s: %w", file, err)
 		}
-		logger.Info("rule registered", "rule", rule.ID, "file", file)
+		if fresh {
+			logger.Info("rule registered", "rule", rule.ID, "file", file)
+		}
 	}
 
 	// Serve until SIGINT/SIGTERM, then drain: stop accepting HTTP first,

@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,7 +20,26 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/ruleml"
 	"repro/internal/services"
+	"repro/internal/xmltree"
 )
+
+// ErrDuplicateRule reports a Register of an id that is already live.
+// Callers replaying rules from durable storage (where a startup rule may
+// legitimately collide with a recovered one) match it with errors.Is.
+var ErrDuplicateRule = errors.New("already registered")
+
+// Journal receives durable notifications of rule life-cycle changes; the
+// store subsystem implements it to write the write-ahead journal. Both
+// methods are called outside the engine lock, after the change took
+// effect. A nil Journal is never called.
+type Journal interface {
+	// RuleRegistered reports a successful registration: the assigned rule
+	// id, the original ECA-ML document (nil when the rule was built
+	// programmatically) and the registration time.
+	RuleRegistered(id string, doc *xmltree.Node, at time.Time)
+	// RuleUnregistered reports a withdrawal.
+	RuleUnregistered(id string)
+}
 
 // Logger receives human-readable evaluation traces; the ecabench harness
 // uses it to print the message flows of the paper's figures.
@@ -54,6 +74,7 @@ type Engine struct {
 	hub      *obs.Hub
 	tr       *obs.Recorder
 	met      metrics
+	journal  Journal
 
 	mu     sync.Mutex
 	rules  map[string]*RuleState
@@ -105,10 +126,22 @@ func newMetrics(h *obs.Hub) metrics {
 // RuleState is the engine's bookkeeping for one registered rule.
 type RuleState struct {
 	Rule *ruleml.Rule
+	// Registered is when the rule was registered (restored from the
+	// journal after crash recovery).
+	Registered time.Time
 	// Firings counts completed instances (actions executed).
 	Firings int
 	// Died counts instances whose relation became empty.
 	Died int
+}
+
+// RuleInfo is a race-free snapshot of one rule's bookkeeping, as served
+// by GET /engine/rules.
+type RuleInfo struct {
+	ID         string    `json:"id"`
+	Registered time.Time `json:"registered"`
+	Firings    int       `json:"firings"`
+	Died       int       `json:"died"`
 }
 
 // Option configures the engine.
@@ -133,6 +166,11 @@ func WithLog(l *obs.Logger) Option { return func(e *Engine) { e.slog = l } }
 // WithObs installs the observability hub: engine counters and histograms
 // go to its metrics registry, rule-instance spans to its trace recorder.
 func WithObs(h *obs.Hub) Option { return func(e *Engine) { e.hub = h } }
+
+// WithJournal installs the durable journal hook: every successful
+// Register/Unregister is reported to j after it takes effect, so a
+// restarted engine can recover its rule set (see internal/store).
+func WithJournal(j Journal) Option { return func(e *Engine) { e.journal = j } }
 
 // WithWorkers evaluates rule instances asynchronously on n worker
 // goroutines instead of on the detection-delivering goroutine. Useful when
@@ -241,6 +279,29 @@ func (e *Engine) RuleState(id string) (*RuleState, bool) {
 	return rs, ok
 }
 
+// RuleInfos returns a snapshot of every registered rule's bookkeeping,
+// sorted by id.
+func (e *Engine) RuleInfos() []RuleInfo {
+	e.mu.Lock()
+	out := make([]RuleInfo, 0, len(e.rules))
+	for id, rs := range e.rules {
+		out = append(out, RuleInfo{ID: id, Registered: rs.Registered, Firings: rs.Firings, Died: rs.Died})
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SetRegistered back-dates a rule's registration time; crash recovery uses
+// it to restore the original registration instant from the journal.
+func (e *Engine) SetRegistered(id string, at time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if rs, ok := e.rules[id]; ok {
+		rs.Registered = at
+	}
+}
+
 // Register validates the rule and registers its event component with the
 // appropriate detection service via the GRH (Fig. 5). Rules without an id
 // are assigned rule-N.
@@ -250,14 +311,22 @@ func (e *Engine) Register(rule *ruleml.Rule) error {
 	}
 	e.mu.Lock()
 	if rule.ID == "" {
-		e.seq++
-		rule.ID = fmt.Sprintf("rule-%d", e.seq)
+		// Skip ids already taken — a recovered rule set may occupy
+		// rule-N slots from a previous run of the sequence.
+		for {
+			e.seq++
+			rule.ID = fmt.Sprintf("rule-%d", e.seq)
+			if _, taken := e.rules[rule.ID]; !taken {
+				break
+			}
+		}
 	}
 	if _, dup := e.rules[rule.ID]; dup {
 		e.mu.Unlock()
-		return fmt.Errorf("engine: rule %q already registered", rule.ID)
+		return fmt.Errorf("engine: rule %q %w", rule.ID, ErrDuplicateRule)
 	}
-	e.rules[rule.ID] = &RuleState{Rule: rule}
+	registered := time.Now()
+	e.rules[rule.ID] = &RuleState{Rule: rule, Registered: registered}
 	e.stats.RulesRegistered++
 	e.met.rules.Set(float64(len(e.rules)))
 	e.mu.Unlock()
@@ -281,6 +350,9 @@ func (e *Engine) Register(rule *ruleml.Rule) error {
 		e.slog.Error("rule registration failed", obs.FieldRule, rule.ID, "error", err.Error())
 		return fmt.Errorf("engine: registering event component of %s: %w", rule.ID, err)
 	}
+	if e.journal != nil {
+		e.journal.RuleRegistered(rule.ID, rule.Doc, registered)
+	}
 	return nil
 }
 
@@ -295,6 +367,9 @@ func (e *Engine) Unregister(id string) error {
 	e.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("engine: no rule %q", id)
+	}
+	if e.journal != nil {
+		e.journal.RuleUnregistered(id)
 	}
 	_, err := e.grh.Dispatch(protocol.UnregisterEvent, grh.Component{
 		Rule:     id,

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/ruleml"
 	"repro/internal/services"
 	"repro/internal/snoop"
+	"repro/internal/store"
 	"repro/internal/xmltree"
 )
 
@@ -115,6 +117,12 @@ type Config struct {
 	// concurrently. The zero value disables it;
 	// grh.DefaultPartitionPolicy is a sane starting point.
 	Partition grh.PartitionPolicy
+	// Store is the durability subsystem (write-ahead rule/event journal,
+	// snapshots, crash recovery — see internal/store and
+	// docs/DURABILITY.md). nil keeps the engine purely in-memory, the
+	// historical behaviour. Call System.Recover after NewLocal to replay
+	// the recovered state into the engine.
+	Store *store.Store
 }
 
 // System is one wired deployment of the architecture.
@@ -126,6 +134,7 @@ type System struct {
 	Notifier *Notifier
 	Obs      *obs.Hub
 	Log      *obs.Logger
+	Durable  *store.Store // nil when the deployment is in-memory only
 
 	pprof bool
 
@@ -151,6 +160,7 @@ func NewLocal(cfg Config) (*System, error) {
 		Notifier: &Notifier{},
 		Obs:      cfg.Obs,
 		Log:      cfg.Log,
+		Durable:  cfg.Store,
 		pprof:    cfg.PProf,
 		started:  time.Now(),
 	}
@@ -160,6 +170,9 @@ func NewLocal(cfg Config) (*System, error) {
 	engineOpts := []engine.Option{engine.WithObs(cfg.Obs), engine.WithLog(cfg.Log)}
 	if cfg.Logger != nil {
 		engineOpts = append(engineOpts, engine.WithLogger(cfg.Logger))
+	}
+	if cfg.Store != nil {
+		engineOpts = append(engineOpts, engine.WithJournal(cfg.Store))
 	}
 	s.Engine = engine.New(s.GRH, engineOpts...)
 	deliver := &services.Deliverer{Local: s.Engine.OnDetection, Obs: cfg.Obs}
@@ -214,9 +227,12 @@ func NewLocal(cfg Config) (*System, error) {
 //	GET  /opaque/xquery?query= raw XQuery (framework-unaware, Fig. 10)
 //	POST /engine/detect       log:answers (detection callback)
 //	POST /engine/rules        eca:rule document → registers the rule
-//	POST /events              event payload → published on the stream
+//	GET  /engine/rules        rule bookkeeping as JSON (?format=ids for the plain id list)
+//	GET  /engine/rules/{id}   one rule's bookkeeping as JSON
+//	DELETE /engine/rules/{id} unregisters the rule
+//	POST /events              event payload → journaled (when durable) and published
 //	GET  /engine/stats        plain-text counters
-//	GET  /healthz             liveness + rule/service counts as JSON
+//	GET  /healthz             liveness + rule/service counts as JSON (incl. store section)
 //	GET  /metrics             Prometheus text exposition (when Obs is set)
 //	GET  /debug/traces        rule-instance span traces as JSON (when Obs is set)
 //	GET  /debug/pprof/        runtime profiling (when Config.PProf is set)
@@ -247,31 +263,66 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 		w.WriteHeader(http.StatusOK)
 	})
 	mux.HandleFunc("/engine/rules", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method == http.MethodGet {
-			for _, id := range s.Engine.Rules() {
-				fmt.Fprintln(w, id)
+		switch r.Method {
+		case http.MethodGet:
+			if r.URL.Query().Get("format") == "ids" {
+				// Plain-text id list, the historical ecactl contract.
+				for _, id := range s.Engine.Rules() {
+					fmt.Fprintln(w, id)
+				}
+				return
 			}
+			writeJSON(w, struct {
+				Rules []engine.RuleInfo `json:"rules"`
+			}{s.Engine.RuleInfos()})
+		case http.MethodPost:
+			doc, err := xmltree.Parse(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			rule, err := ruleml.Parse(doc)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+				return
+			}
+			if err := s.Engine.Register(rule); err != nil {
+				http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+				return
+			}
+			fmt.Fprintln(w, rule.ID)
+		default:
+			http.Error(w, "POST an eca:rule document, GET the rule list, or DELETE /engine/rules/{id}", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/engine/rules/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/engine/rules/")
+		if id == "" {
+			http.Error(w, "missing rule id", http.StatusNotFound)
 			return
 		}
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST an eca:rule document, or GET the rule list", http.StatusMethodNotAllowed)
-			return
+		switch r.Method {
+		case http.MethodGet:
+			for _, info := range s.Engine.RuleInfos() {
+				if info.ID == id {
+					writeJSON(w, info)
+					return
+				}
+			}
+			http.Error(w, fmt.Sprintf("no rule %q", id), http.StatusNotFound)
+		case http.MethodDelete:
+			if err := s.Engine.Unregister(id); err != nil {
+				if strings.Contains(err.Error(), "no rule") {
+					http.Error(w, err.Error(), http.StatusNotFound)
+					return
+				}
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			fmt.Fprintln(w, id)
+		default:
+			http.Error(w, "GET or DELETE a rule id", http.StatusMethodNotAllowed)
 		}
-		doc, err := xmltree.Parse(r.Body)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		rule, err := ruleml.Parse(doc)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-			return
-		}
-		if err := s.Engine.Register(rule); err != nil {
-			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-			return
-		}
-		fmt.Fprintln(w, rule.ID)
 	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -283,7 +334,16 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		// Journal the accepted event before dispatch, acknowledge after:
+		// a crash in between leaves an orphan record that recovery
+		// re-enqueues on the next boot.
+		journalID, err := s.Durable.AppendEvent(doc)
+		if err != nil {
+			http.Error(w, "event not journaled: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
 		ev := s.Stream.Publish(events.New(doc))
+		s.Durable.AckEvent(journalID)
 		fmt.Fprintf(w, "%d\n", ev.Seq)
 	})
 	mux.HandleFunc("/engine/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -308,14 +368,15 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 
 // Health is the /healthz response body.
 type Health struct {
-	Status             string  `json:"status"`
-	UptimeSeconds      float64 `json:"uptime_seconds"`
-	Rules              int     `json:"rules"`
-	Languages          int     `json:"languages"`
-	InstancesCreated   int     `json:"instances_created"`
-	InstancesCompleted int     `json:"instances_completed"`
-	InstancesDied      int     `json:"instances_died"`
-	Notifications      int     `json:"notifications"`
+	Status             string        `json:"status"`
+	UptimeSeconds      float64       `json:"uptime_seconds"`
+	Rules              int           `json:"rules"`
+	Languages          int           `json:"languages"`
+	InstancesCreated   int           `json:"instances_created"`
+	InstancesCompleted int           `json:"instances_completed"`
+	InstancesDied      int           `json:"instances_died"`
+	Notifications      int           `json:"notifications"`
+	Store              *store.Health `json:"store,omitempty"` // absent for in-memory deployments
 }
 
 func (s *System) healthz(w http.ResponseWriter, r *http.Request) {
@@ -330,20 +391,66 @@ func (s *System) healthz(w http.ResponseWriter, r *http.Request) {
 		InstancesDied:      st.InstancesDied,
 		Notifications:      len(s.Notifier.Sent()),
 	}
+	if s.Durable != nil {
+		sh := s.Durable.Health()
+		h.Store = &sh
+	}
+	writeJSON(w, h)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(h)
+	enc.Encode(v)
 }
 
 // Close shuts the system down gracefully: the engine stops accepting
 // detections and drains every in-flight rule instance, then the event
-// services release their stream subscriptions. Safe to call more than
-// once.
+// services release their stream subscriptions, and finally the durable
+// store (if any) snapshots, compacts and closes its journal. Safe to call
+// more than once.
 func (s *System) Close() {
 	s.Engine.Close()
 	s.Matcher.Close()
 	s.Snoop.Close()
+	if s.Durable != nil {
+		if err := s.Durable.Close(); err != nil {
+			s.Log.Warn("store close", "error", err.Error())
+		}
+	}
+}
+
+// Recover replays the durable store's reconstructed state into this
+// system: every recovered rule document is re-parsed and re-registered
+// through the regular ruleml.Analyzer validation path (restoring its
+// original id and registration time), and every orphaned event — accepted
+// before the crash but never dispatched — is re-published on the stream.
+// Records that fail to parse or re-register are skipped with a logged,
+// metered warning. Call it once, after NewLocal and before serving
+// traffic; a nil store (in-memory deployment) is a no-op.
+func (s *System) Recover() (store.RecoveryStats, error) {
+	if s.Durable == nil {
+		return store.RecoveryStats{}, nil
+	}
+	return s.Durable.Recover(
+		func(id string, doc *xmltree.Node, registered time.Time) error {
+			rule, err := ruleml.Parse(doc)
+			if err != nil {
+				return err
+			}
+			rule.ID = id
+			if err := s.Engine.Register(rule); err != nil {
+				return err
+			}
+			s.Engine.SetRegistered(id, registered)
+			return nil
+		},
+		func(doc *xmltree.Node) error {
+			s.Stream.Publish(events.New(doc))
+			return nil
+		},
+	)
 }
 
 // Distribute re-registers every component language in the GRH as a REMOTE

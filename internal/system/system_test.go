@@ -1,6 +1,7 @@
 package system
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -95,16 +96,58 @@ func TestMuxManagementEndpoints(t *testing.T) {
 		t.Errorf("bad rule status = %d", resp.StatusCode)
 	}
 	resp.Body.Close()
-	resp, _ = http.Get(srv.URL + "/engine/rules")
+	resp, _ = http.Get(srv.URL + "/engine/rules?format=ids")
 	body, _ = io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "http-rule" {
-		t.Errorf("GET rules = %d %q", resp.StatusCode, body)
+		t.Errorf("GET rules?format=ids = %d %q", resp.StatusCode, body)
 	}
+	resp, _ = http.Get(srv.URL + "/engine/rules")
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var list struct {
+		Rules []engine.RuleInfo `json:"rules"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("GET rules JSON: %v\n%s", err, body)
+	}
+	if len(list.Rules) != 1 || list.Rules[0].ID != "http-rule" ||
+		list.Rules[0].Firings != 1 || list.Rules[0].Registered.IsZero() {
+		t.Errorf("GET rules = %+v", list.Rules)
+	}
+	resp, _ = http.Get(srv.URL + "/engine/rules/http-rule")
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var one engine.RuleInfo
+	if err := json.Unmarshal(body, &one); err != nil || one.ID != "http-rule" {
+		t.Errorf("GET rules/{id} = %v %q", err, body)
+	}
+	// DELETE on the collection is a method error; on an id it unregisters.
 	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/engine/rules", nil)
 	resp, _ = http.DefaultClient.Do(req)
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("DELETE rules status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/engine/rules/nope", nil)
+	resp, _ = http.DefaultClient.Do(req)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown rule status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/engine/rules/http-rule", nil)
+	resp, _ = http.DefaultClient.Do(req)
+	if resp.StatusCode != 200 {
+		t.Errorf("DELETE rule status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if got := sys.Engine.Rules(); len(got) != 0 {
+		t.Errorf("rules after DELETE = %v", got)
+	}
+	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/engine/rules/x", nil)
+	resp, _ = http.DefaultClient.Do(req)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("PUT rules/{id} status = %d", resp.StatusCode)
 	}
 	resp.Body.Close()
 	resp, _ = http.Post(srv.URL+"/events", "application/xml", strings.NewReader("not xml"))

@@ -1,0 +1,293 @@
+package eca_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+)
+
+// TestClusterKillAndTakeover is the clustering smoke test: it boots three
+// real ecad nodes as a cluster (consistent-hash rule sharding, vocabulary
+// event forwarding, ring journal replication n1→n2→n3→n1), registers six
+// rules through one node so they shard across all three, fires their
+// events, SIGKILLs one rule-owning node, and proves the failover: the dead
+// node's follower takes the partition over (cluster_takeovers_total ≥ 1)
+// and every registered rule still fires when its event is re-sent to a
+// survivor.
+//
+// Set ECA_E2E_CLUSTER_DATADIR to pin the per-node journal dirs to a known
+// parent (CI archives them as artifacts on failure); by default temp dirs
+// are used.
+func TestClusterKillAndTakeover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	ecad := filepath.Join(dir, "ecad")
+	ecactl := filepath.Join(dir, "ecactl")
+	for bin, pkg := range map[string]string{ecad: "./cmd/ecad", ecactl: "./cmd/ecactl"} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	dataParent := os.Getenv("ECA_E2E_CLUSTER_DATADIR")
+	if dataParent == "" {
+		dataParent = filepath.Join(dir, "data")
+	} else if err := os.RemoveAll(dataParent); err != nil {
+		t.Fatal(err)
+	}
+
+	ids := []string{"n1", "n2", "n3"}
+	addrs := make(map[string]string, len(ids))
+	bases := make(map[string]string, len(ids))
+	var peerList []string
+	for _, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[id] = ln.Addr().String()
+		ln.Close()
+		bases[id] = "http://" + addrs[id]
+		peerList = append(peerList, id+"="+bases[id])
+	}
+	peers := strings.Join(peerList, ",")
+
+	daemons := map[string]*exec.Cmd{}
+	startNode := func(id string) {
+		t.Helper()
+		daemon := exec.Command(ecad,
+			"-addr", addrs[id], "-node-id", id, "-peers", peers,
+			"-data-dir", filepath.Join(dataParent, id), "-fsync", "always",
+			"-probe-interval", "200ms", "-peer-down-after", "2",
+			"-log-format", "json")
+		daemon.Stdout = os.Stderr
+		daemon.Stderr = os.Stderr
+		if err := daemon.Start(); err != nil {
+			t.Fatal(err)
+		}
+		daemons[id] = daemon
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(bases[id] + "/engine/stats")
+			if err == nil {
+				resp.Body.Close()
+				return
+			}
+			if time.Now().After(deadline) {
+				daemon.Process.Kill()
+				daemon.Wait()
+				t.Fatalf("%s did not come up", id)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	for _, id := range ids {
+		startNode(id)
+	}
+	defer func() {
+		for _, d := range daemons {
+			d.Process.Kill()
+			d.Wait()
+		}
+	}()
+	get := func(base, path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	// Pick two rule ids per node using the same hash ring the daemons use,
+	// so the shard layout is known: n2 (the victim) is guaranteed to own
+	// rules, and so are the survivors.
+	ring := cluster.NewRing(ids)
+	ruleOwner := map[string]string{}
+	var ruleIDs []string
+	need := map[string]int{"n1": 2, "n2": 2, "n3": 2}
+	for i := 0; len(ruleIDs) < 6; i++ {
+		id := fmt.Sprintf("er-%d", i)
+		owner := ring.Owner(id)
+		if need[owner] == 0 {
+			continue
+		}
+		need[owner]--
+		ruleOwner[id] = owner
+		ruleIDs = append(ruleIDs, id)
+	}
+
+	// Register every rule through n1 — ecactl addressed via ECA_ENDPOINT,
+	// no -s flag. Each rule has its own event vocabulary (t:ev-<id>).
+	for _, id := range ruleIDs {
+		ruleFile := filepath.Join(dir, id+".xml")
+		ruleXML := `<eca:rule xmlns:eca="http://www.semwebtech.org/languages/2006/eca-ml" xmlns:t="http://t/" id="` + id + `">
+		  <eca:event><t:ev-` + id + ` x="$X"/></eca:event>
+		  <eca:action><t:pong x="$X"/></eca:action>
+		</eca:rule>`
+		if err := os.WriteFile(ruleFile, []byte(ruleXML), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(ecactl, "register", ruleFile)
+		cmd.Env = append(os.Environ(), "ECA_ENDPOINT="+bases["n1"])
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("ecactl register %s: %v\n%s", id, err, out)
+		}
+	}
+	// Every rule must live on exactly the node the ring assigns.
+	for _, id := range ruleIDs {
+		_, body := get(bases[ruleOwner[id]], "/engine/rules?format=ids")
+		if !strings.Contains(body, id) {
+			t.Fatalf("rule %s not on its owner %s: %q", id, ruleOwner[id], body)
+		}
+	}
+
+	fireAll := func(via string) {
+		t.Helper()
+		for _, id := range ruleIDs {
+			ev := `<t:ev-` + id + ` xmlns:t="http://t/" x="7"/>`
+			resp, err := http.Post(bases[via]+"/events", "application/xml", strings.NewReader(ev))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	// firings sums each rule's firing count across the given nodes.
+	firings := func(nodes ...string) map[string]int {
+		t.Helper()
+		total := map[string]int{}
+		for _, nd := range nodes {
+			_, body := get(bases[nd], "/engine/rules")
+			var listing struct {
+				Rules []engine.RuleInfo `json:"rules"`
+			}
+			if err := json.Unmarshal([]byte(body), &listing); err != nil {
+				t.Fatalf("%s rule listing: %v\n%s", nd, err, body)
+			}
+			for _, info := range listing.Rules {
+				total[info.ID] += info.Firings
+			}
+		}
+		return total
+	}
+	allFired := func(counts map[string]int) bool {
+		for _, id := range ruleIDs {
+			if counts[id] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Before the kill: fire every event via n1 until each rule has fired
+	// once (vocabulary gossip needs a probe round to converge).
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		fireAll("n1")
+		time.Sleep(200 * time.Millisecond)
+		if allFired(firings(ids...)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rules never all fired pre-kill: %v", firings(ids...))
+		}
+	}
+
+	// Wait for n2's partition to be mirrored on its follower n3 before
+	// killing it, or there is nothing to take over.
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		_, body := get(bases["n3"], "/cluster/status")
+		var st cluster.Status
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatalf("cluster status: %v\n%s", err, body)
+		}
+		replicated := false
+		for _, p := range st.Peers {
+			if p.ID == "n2" && p.Replica != nil && p.Replica.Rules >= 2 {
+				replicated = true
+			}
+		}
+		if replicated {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("n2's journal never reached its follower: %s", body)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// SIGKILL the rule-owning victim: no shutdown hooks run.
+	if err := daemons["n2"].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	daemons["n2"].Wait()
+	delete(daemons, "n2")
+
+	// The follower must notice the death (2 failed probes at 200ms) and
+	// take the partition over.
+	deadline = time.Now().Add(20 * time.Second)
+	for {
+		_, metrics := get(bases["n3"], "/metrics")
+		if strings.Contains(metrics, "cluster_takeovers_total 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("n3 never took n2's partition over")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Re-fire everything through a survivor: every rule — including the
+	// two the dead node owned — must fire on the surviving nodes.
+	deadline = time.Now().Add(20 * time.Second)
+	pre := firings("n1", "n3")
+	for {
+		fireAll("n1")
+		time.Sleep(200 * time.Millisecond)
+		post := firings("n1", "n3")
+		progressed := true
+		for _, id := range ruleIDs {
+			if post[id] <= pre[id] {
+				progressed = false
+			}
+		}
+		if progressed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rules did not all fire after takeover: pre %v post %v", pre, firings("n1", "n3"))
+		}
+	}
+
+	// The health document of a survivor reports the cluster view: the dead
+	// peer down, the takeover counted.
+	_, health := get(bases["n3"], "/healthz")
+	var h struct {
+		Cluster *cluster.Status `json:"cluster"`
+	}
+	if err := json.Unmarshal([]byte(health), &h); err != nil {
+		t.Fatalf("healthz: %v\n%s", err, health)
+	}
+	if h.Cluster == nil || h.Cluster.Takeovers != 1 {
+		t.Errorf("survivor healthz cluster section = %+v", h.Cluster)
+	}
+}

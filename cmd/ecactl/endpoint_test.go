@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+// The default endpoint honours ECA_ENDPOINT so scripted multi-node
+// workflows can address each cluster member without repeating -s.
+func TestDefaultEndpointHonorsEnv(t *testing.T) {
+	env := func(vals map[string]string) func(string) string {
+		return func(k string) string { return vals[k] }
+	}
+	cases := []struct {
+		name string
+		vals map[string]string
+		want string
+	}{
+		{"unset", nil, "http://127.0.0.1:8080"},
+		{"empty", map[string]string{"ECA_ENDPOINT": ""}, "http://127.0.0.1:8080"},
+		{"blank", map[string]string{"ECA_ENDPOINT": "   "}, "http://127.0.0.1:8080"},
+		{"set", map[string]string{"ECA_ENDPOINT": "http://node-2:9090"}, "http://node-2:9090"},
+		{"trailing slash", map[string]string{"ECA_ENDPOINT": "http://node-2:9090/"}, "http://node-2:9090"},
+	}
+	for _, c := range cases {
+		if got := defaultEndpoint(env(c.vals)); got != c.want {
+			t.Errorf("%s: defaultEndpoint = %q, want %q", c.name, got, c.want)
+		}
+	}
+}

@@ -7,6 +7,10 @@
 //	ecactl [-s http://127.0.0.1:8080] book "John Doe" Munich Paris
 //	ecactl [-s http://127.0.0.1:8080] rules
 //	ecactl [-s http://127.0.0.1:8080] stats
+//	ecactl [-s http://127.0.0.1:8080] cluster status
+//
+// The default endpoint is taken from the ECA_ENDPOINT environment
+// variable when set; -s overrides it.
 package main
 
 import (
@@ -20,8 +24,17 @@ import (
 	"repro/internal/domain/travel"
 )
 
+// defaultEndpoint resolves the daemon base URL when -s is not given: the
+// ECA_ENDPOINT environment variable if set, the local default otherwise.
+func defaultEndpoint(getenv func(string) string) string {
+	if ep := strings.TrimSpace(getenv("ECA_ENDPOINT")); ep != "" {
+		return strings.TrimRight(ep, "/")
+	}
+	return "http://127.0.0.1:8080"
+}
+
 func main() {
-	server := flag.String("s", "http://127.0.0.1:8080", "ecad base URL")
+	server := flag.String("s", defaultEndpoint(os.Getenv), "ecad base URL (default honours $ECA_ENDPOINT)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -53,6 +66,11 @@ func main() {
 		err = get(*server + "/engine/stats")
 	case "rules":
 		err = get(*server + "/engine/rules?format=ids")
+	case "cluster":
+		if len(args) != 2 || args[1] != "status" {
+			usage()
+		}
+		err = get(*server + "/cluster/status")
 	default:
 		usage()
 	}
@@ -62,6 +80,6 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ecactl [-s URL] register <rule.xml> | unregister <rule-id> | event <file|-> | book <person> <from> <to> | rules | stats`)
+	fmt.Fprintln(os.Stderr, `usage: ecactl [-s URL] register <rule.xml> | unregister <rule-id> | event <file|-> | book <person> <from> <to> | rules | stats | cluster status`)
 	os.Exit(2)
 }

@@ -10,7 +10,9 @@
 //	     [-log-level info] [-log-format text|json] \
 //	     [-retries N] [-breaker-failures N] [-breaker-cooldown 30s] \
 //	     [-cache-entries N] [-cache-ttl 30s] [-shard-tuples N] [-max-shards K] \
-//	     [-data-dir DIR] [-fsync always|interval|never] [-snapshot-every N]
+//	     [-data-dir DIR] [-fsync always|interval|never] [-snapshot-every N] \
+//	     [-node-id ID -peers id=url,id=url,...] [-replicate-to ID|none] \
+//	     [-probe-interval 1s] [-peer-down-after N] [-max-pending-events N]
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the HTTP listener
 // stops accepting requests, then the engine drains every in-flight rule
@@ -24,6 +26,13 @@
 // on start the daemon recovers the previous run's rules and any orphaned
 // events before serving traffic (see docs/DURABILITY.md). Without
 // -data-dir everything stays in memory, the historical behaviour.
+//
+// With -node-id and -peers the daemon joins a static cluster of ecad
+// replicas: rules are partitioned across the peers by consistent hash on
+// rule id, events are forwarded to the replicas whose rules match them,
+// and (when durable) the journal is streamed to a follower that takes the
+// partition over if this node dies (see docs/CLUSTERING.md). Without
+// -peers the daemon runs single-node, behaviourally unchanged.
 //
 // With -travel the daemon preloads the paper's car-rental scenario
 // (documents, opaque service endpoints and the Fig. 4 rule). With
@@ -47,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/datalog"
 	"repro/internal/domain/travel"
 	"repro/internal/engine"
@@ -86,8 +96,35 @@ type options struct {
 	dataDir         string
 	fsync           string
 	snapshotEvery   int
+	nodeID          string
+	peers           string
+	replicateTo     string
+	probeInterval   time.Duration
+	peerDownAfter   int
+	maxPending      int
 	rules           []string
 	docs            []string
+}
+
+// parsePeers reads the -peers value: comma-separated id=url pairs naming
+// every cluster member, including this node.
+func parsePeers(s string) ([]cluster.Peer, error) {
+	var peers []cluster.Peer
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(pair, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("-peers wants id=url pairs, got %q", pair)
+		}
+		peers = append(peers, cluster.Peer{ID: id, URL: url})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-peers is empty")
+	}
+	return peers, nil
 }
 
 func main() {
@@ -112,6 +149,12 @@ func main() {
 	flag.StringVar(&o.dataDir, "data-dir", "", "durable store directory for the rule/event journal (empty = in-memory only)")
 	flag.StringVar(&o.fsync, "fsync", string(store.FsyncInterval), "journal fsync policy: always, interval or never")
 	flag.IntVar(&o.snapshotEvery, "snapshot-every", store.DefaultSnapshotEvery, "journal records between snapshot + compaction (negative disables automatic snapshots)")
+	flag.StringVar(&o.nodeID, "node-id", "", "this node's id in a clustered deployment (requires -peers)")
+	flag.StringVar(&o.peers, "peers", "", "static cluster member list as id=url,id=url,... including this node")
+	flag.StringVar(&o.replicateTo, "replicate-to", "", "peer id to stream the journal to (empty = sorted successor, none = disable replication)")
+	flag.DurationVar(&o.probeInterval, "probe-interval", cluster.DefaultProbeInterval, "cluster health-probe cadence")
+	flag.IntVar(&o.peerDownAfter, "peer-down-after", cluster.DefaultDownAfter, "consecutive failed probes before a peer is declared down")
+	flag.IntVar(&o.maxPending, "max-pending-events", 0, "max concurrent POST /events requests before shedding with 429 (0 = unlimited)")
 	var rules, docs repeated
 	flag.Var(&rules, "rule", "rule file to register at startup (repeatable)")
 	flag.Var(&docs, "doc", "uri=file pair to load into the document store (repeatable)")
@@ -173,6 +216,25 @@ func run(o options) error {
 			return err
 		}
 		cfg.Store = st
+	}
+	cfg.MaxPendingEvents = o.maxPending
+	if o.peers != "" || o.nodeID != "" {
+		if o.nodeID == "" || o.peers == "" {
+			return fmt.Errorf("clustering needs both -node-id and -peers")
+		}
+		peers, err := parsePeers(o.peers)
+		if err != nil {
+			return err
+		}
+		cfg.Cluster = &cluster.Options{
+			NodeID:        o.nodeID,
+			Peers:         peers,
+			ReplicateTo:   o.replicateTo,
+			ProbeInterval: o.probeInterval,
+			DownAfter:     o.peerDownAfter,
+			Obs:           cfg.Obs,
+			Log:           logger,
+		}
 	}
 	if o.datalogSrc != "" {
 		src, err := os.ReadFile(o.datalogSrc)
@@ -312,6 +374,13 @@ func run(o options) error {
 		if fresh {
 			logger.Info("rule registered", "rule", rule.ID, "file", file)
 		}
+	}
+	if sys.Cluster != nil {
+		// After recovery and startup rules, so the journal shipper's opening
+		// base sync mirrors the node's full live state.
+		sys.StartCluster()
+		logger.Info("cluster node started", "node", sys.Cluster.ID(),
+			"peers", o.peers, "replicate_to", sys.Cluster.Follower())
 	}
 
 	// Serve until SIGINT/SIGTERM, then drain: stop accepting HTTP first,

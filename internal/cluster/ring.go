@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// ringPoints is the number of virtual points each node contributes to the
+// consistent-hash ring. More points smooth the partition sizes; 64 keeps
+// the worst-case imbalance for small clusters under a few percent while the
+// ring stays tiny.
+const ringPoints = 64
+
+// Ring is a consistent-hash ring over the cluster's node ids. Rule ids
+// hash onto the ring and are owned by the first node point at or after
+// their hash, so adding or removing one node moves only ~1/N of the key
+// space — registered rules never migrate implicitly, but new registrations
+// land on the new topology.
+type Ring struct {
+	points []ringPoint
+	nodes  []string // sorted, distinct
+}
+
+type ringPoint struct {
+	hash uint32
+	node string
+}
+
+// NewRing builds a ring over the given node ids (duplicates are ignored).
+func NewRing(nodes []string) *Ring {
+	seen := map[string]bool{}
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+		for i := 0; i < ringPoints; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(n, byte(i)), node: n})
+		}
+	}
+	sort.Strings(r.nodes)
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+func ringHash(s string, salt byte) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	h.Write([]byte{0, salt})
+	return h.Sum32()
+}
+
+// Owner returns the node owning key — the first ring point clockwise from
+// the key's hash. An empty ring owns nothing and returns "".
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key, 0xff)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Successor returns the next node after the given one in sorted id order,
+// wrapping around — the default choice of replication follower, so that a
+// ring of nodes a→b→c→a pairs every primary with exactly one follower.
+// A cluster of one (or an unknown node) has no successor.
+func (r *Ring) Successor(node string) string {
+	if len(r.nodes) < 2 {
+		return ""
+	}
+	i := sort.SearchStrings(r.nodes, node)
+	if i == len(r.nodes) || r.nodes[i] != node {
+		return ""
+	}
+	return r.nodes[(i+1)%len(r.nodes)]
+}
+
+// Nodes returns the distinct node ids on the ring, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}

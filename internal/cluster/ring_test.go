@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"})
+	b := NewRing([]string{"n3", "n1", "n2", "n1"}) // order and duplicates must not matter
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("rule-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("owner of %q differs between equivalent rings: %q vs %q",
+				key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"})
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		counts[r.Owner(fmt.Sprintf("r-%d", i))]++
+	}
+	for _, n := range r.Nodes() {
+		if counts[n] == 0 {
+			t.Errorf("node %s owns no keys: %v", n, counts)
+		}
+		// With 64 virtual points per node the split should be roughly even;
+		// accept anything within a factor of ~2.5 of the fair share.
+		if counts[n] < 400 || counts[n] > 2500 {
+			t.Errorf("node %s owns %d of 3000 keys, suspiciously unbalanced: %v", n, counts[n], counts)
+		}
+	}
+}
+
+func TestRingOwnerEmptyAndSingle(t *testing.T) {
+	if got := NewRing(nil).Owner("x"); got != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", got)
+	}
+	one := NewRing([]string{"solo"})
+	for _, k := range []string{"a", "b", "c"} {
+		if one.Owner(k) != "solo" {
+			t.Errorf("single-node ring owner of %q = %q", k, one.Owner(k))
+		}
+	}
+}
+
+func TestRingSuccessorChain(t *testing.T) {
+	r := NewRing([]string{"b", "c", "a"})
+	want := map[string]string{"a": "b", "b": "c", "c": "a"}
+	for n, s := range want {
+		if got := r.Successor(n); got != s {
+			t.Errorf("Successor(%s) = %q, want %q", n, got, s)
+		}
+	}
+	if got := r.Successor("ghost"); got != "" {
+		t.Errorf("Successor of unknown node = %q, want \"\"", got)
+	}
+	if got := NewRing([]string{"solo"}).Successor("solo"); got != "" {
+		t.Errorf("single-node successor = %q, want \"\"", got)
+	}
+}

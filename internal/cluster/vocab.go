@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/protocol"
+	"repro/internal/ruleml"
+	"repro/internal/snoop"
+	"repro/internal/xmltree"
+)
+
+// Event routing matches an incoming event's root element against the event
+// vocabulary of the cluster's rules: the set of domain-level element names
+// appearing in each rule's event component pattern. A node advertises its
+// local vocabulary on /cluster/status, so peers learn where each term
+// lives and forward events only to the replicas that can match them.
+
+// EventVocabulary returns the domain element names ({space}local, Clark
+// notation) appearing in the rule's event component pattern. Elements in
+// the framework namespaces (eca:, snoop:) are operators and wrappers, not
+// vocabulary. An opaque event component — raw text the router cannot
+// introspect — returns nil, a wildcard: the rule's owner must see every
+// event.
+func EventVocabulary(rule *ruleml.Rule) []string {
+	if rule == nil || rule.Event.Expression == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	rule.Event.Expression.Descendants(func(n *xmltree.Node) bool {
+		switch n.Name.Space {
+		case protocol.ECANS, snoop.NS:
+			return true // structural, keep descending
+		}
+		seen[n.Name.String()] = true
+		return true
+	})
+	terms := make([]string, 0, len(seen))
+	for t := range seen {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	return terms
+}
+
+// EventTerm returns the vocabulary term of an event payload: its root
+// element's name in Clark notation.
+func EventTerm(doc *xmltree.Node) string {
+	root := doc.Root()
+	if root == nil {
+		return ""
+	}
+	return root.Name.String()
+}

@@ -142,6 +142,9 @@ type RuleInfo struct {
 	Registered time.Time `json:"registered"`
 	Firings    int       `json:"firings"`
 	Died       int       `json:"died"`
+	// Owner is the cluster node holding the rule; set by the serving layer
+	// on clustered deployments, absent (omitted) on single-node ones.
+	Owner string `json:"owner,omitempty"`
 }
 
 // Option configures the engine.
@@ -286,6 +289,21 @@ func (e *Engine) RuleInfos() []RuleInfo {
 	out := make([]RuleInfo, 0, len(e.rules))
 	for id, rs := range e.rules {
 		out = append(out, RuleInfo{ID: id, Registered: rs.Registered, Firings: rs.Firings, Died: rs.Died})
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RegisteredRules returns the parsed rules currently registered, sorted by
+// id — the cluster layer reads them to advertise this node's event
+// vocabulary. The *ruleml.Rule values are shared, not copied: callers must
+// treat them as read-only.
+func (e *Engine) RegisteredRules() []*ruleml.Rule {
+	e.mu.Lock()
+	out := make([]*ruleml.Rule, 0, len(e.rules))
+	for _, rs := range e.rules {
+		out = append(out, rs.Rule)
 	}
 	e.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

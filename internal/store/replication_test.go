@@ -1,0 +1,262 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/xmltree"
+)
+
+func mustFrame(t *testing.T, rec record) []byte {
+	t.Helper()
+	f, err := encodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func ruleRec(t *testing.T, id string) record {
+	t.Helper()
+	return record{Kind: KindRegister, Time: time.Now(), Rule: id,
+		Doc: `<eca:rule xmlns:eca="http://www.semwebtech.org/languages/2006/eca-ml" id="` + id + `"><eca:event><e/></eca:event><eca:action><a/></eca:action></eca:rule>`}
+}
+
+func batch(frames ...[]byte) *bytes.Reader {
+	return bytes.NewReader(bytes.Join(frames, nil))
+}
+
+// The replication stream is the journal itself: every append must reach the
+// sink, in order, with consecutive sequences, and ReplicationState must be
+// consistent with the sequence it reports.
+func TestReplicationSinkSeesEveryAppend(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var got []RepRecord
+	s.SetReplicationSink(func(r RepRecord) { got = append(got, r) })
+
+	doc := xmltree.MustParse(`<e/>`)
+	s.RuleRegistered("r1", xmltree.MustParse(ruleRec(t, "r1").Doc), time.Now())
+	id, err := s.AppendEvent(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AckEvent(id)
+	s.RuleUnregistered("r1")
+
+	if len(got) != 4 {
+		t.Fatalf("sink saw %d records, want 4", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Errorf("record %d has seq %d", i, r.Seq)
+		}
+	}
+	frames, seq, err := s.ReplicationState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 4 {
+		t.Errorf("ReplicationState seq = %d, want 4", seq)
+	}
+	if len(frames) != 0 { // rule unregistered, event acked: nothing live
+		t.Errorf("ReplicationState has %d frames, want 0", len(frames))
+	}
+
+	// A replica fed the sink's records reproduces the primary's state.
+	rep := NewReplica()
+	var all []byte
+	for _, r := range got {
+		all = append(all, r.Frame...)
+	}
+	last, err := rep.Apply(1, bytes.NewReader(all))
+	if err != nil || last != 4 {
+		t.Fatalf("Apply = %d, %v", last, err)
+	}
+	if rules, events := rep.Counts(); rules != 0 || events != 0 {
+		t.Errorf("replica counts = %d rules, %d events, want 0, 0", rules, events)
+	}
+}
+
+// A batch whose byte stream is cut mid-frame must apply its good prefix,
+// acknowledge exactly that prefix, and accept the resent remainder.
+func TestReplicaTornFrameMidStream(t *testing.T) {
+	f1 := mustFrame(t, ruleRec(t, "a"))
+	f2 := mustFrame(t, ruleRec(t, "b"))
+	f3 := mustFrame(t, ruleRec(t, "c"))
+
+	torn := append(append([]byte{}, f1...), f2[:len(f2)-3]...) // f2 loses its tail
+	rep := NewReplica()
+	last, err := rep.Apply(1, bytes.NewReader(torn))
+	if !errors.Is(err, ErrTornBatch) {
+		t.Fatalf("err = %v, want ErrTornBatch", err)
+	}
+	if last != 1 {
+		t.Fatalf("acked %d after torn batch, want 1", last)
+	}
+	if rules, _ := rep.Counts(); rules != 1 {
+		t.Fatalf("replica has %d rules, want 1 (good prefix only)", rules)
+	}
+
+	// The primary resends from acked+1; the stream heals.
+	last, err = rep.Apply(2, batch(f2, f3))
+	if err != nil || last != 3 {
+		t.Fatalf("resend Apply = %d, %v", last, err)
+	}
+	if rules, _ := rep.Counts(); rules != 3 {
+		t.Errorf("replica has %d rules, want 3", rules)
+	}
+
+	// Corruption (checksum mismatch) inside a batch behaves like a tear.
+	f4 := mustFrame(t, ruleRec(t, "d"))
+	bad := append([]byte{}, f4...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := rep.Apply(4, bytes.NewReader(bad)); !errors.Is(err, ErrTornBatch) {
+		t.Errorf("corrupt frame: err = %v, want ErrTornBatch", err)
+	}
+	if last := rep.LastSeq(); last != 3 {
+		t.Errorf("acked %d after corrupt frame, want 3", last)
+	}
+}
+
+// A follower restart loses the in-memory replica; the primary detects the
+// regressed acknowledgement and re-bases, after which incremental frames
+// resume from the base sequence — the same dance the cluster shipper does.
+func TestReplicaRestartResumesFromBase(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var stream []RepRecord
+	s.SetReplicationSink(func(r RepRecord) { stream = append(stream, r) })
+
+	s.RuleRegistered("keep", xmltree.MustParse(ruleRec(t, "keep").Doc), time.Now())
+	s.RuleRegistered("drop", xmltree.MustParse(ruleRec(t, "drop").Doc), time.Now())
+	s.RuleUnregistered("drop")
+	if _, err := s.AppendEvent(xmltree.MustParse(`<orphan/>`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restarted" follower: fresh replica, no history. An incremental batch
+	// at the primary's current position is a gap.
+	rep := NewReplica()
+	if _, err := rep.Apply(5, batch(stream[4-1].Frame)); !errors.Is(err, ErrReplicaGap) {
+		t.Fatalf("err = %v, want ErrReplicaGap", err)
+	}
+
+	// Re-base from the primary's live state, then resume incrementally.
+	frames, seq, err := s.ReplicationState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last, err := rep.ApplyBase(seq, batch(frames...)); err != nil || last != seq {
+		t.Fatalf("ApplyBase = %d, %v (want %d)", last, err, seq)
+	}
+	rules, events := rep.Counts()
+	if rules != 1 || events != 1 {
+		t.Fatalf("rebased replica = %d rules, %d events, want 1, 1", rules, events)
+	}
+
+	s.RuleRegistered("late", xmltree.MustParse(ruleRec(t, "late").Doc), time.Now())
+	inc := stream[len(stream)-1]
+	if inc.Seq != seq+1 {
+		t.Fatalf("incremental record seq = %d, want %d", inc.Seq, seq+1)
+	}
+	if last, err := rep.Apply(inc.Seq, batch(inc.Frame)); err != nil || last != inc.Seq {
+		t.Fatalf("post-base Apply = %d, %v", last, err)
+	}
+	if rules, _ = rep.Counts(); rules != 2 {
+		t.Errorf("replica has %d rules after resume, want 2", rules)
+	}
+}
+
+// Re-delivered frames (a primary resending after a lost acknowledgement)
+// must be skipped without effect: applying the same batch twice, or a batch
+// overlapping already-applied sequences, is idempotent.
+func TestReplicaDuplicateFramesIdempotent(t *testing.T) {
+	f1 := mustFrame(t, ruleRec(t, "a"))
+	f2 := mustFrame(t, record{Kind: KindEvent, Time: time.Now(), Event: 1, Doc: `<e/>`})
+	f3 := mustFrame(t, record{Kind: KindEventAck, Event: 1})
+
+	rep := NewReplica()
+	if _, err := rep.Apply(1, batch(f1, f2)); err != nil {
+		t.Fatal(err)
+	}
+	// Exact duplicate of the whole batch.
+	if last, err := rep.Apply(1, batch(f1, f2)); err != nil || last != 2 {
+		t.Fatalf("duplicate batch Apply = %d, %v", last, err)
+	}
+	rules, events := rep.Counts()
+	if rules != 1 || events != 1 {
+		t.Fatalf("after duplicate batch: %d rules, %d events, want 1, 1", rules, events)
+	}
+	// Overlapping batch: frame 2 is a duplicate, frame 3 is new. If the
+	// duplicate ack were re-applied... there is nothing to double-apply for
+	// an ack, so the sharper assertion is the event must be gone exactly
+	// once and LastSeq advanced.
+	if last, err := rep.Apply(2, batch(f2, f3)); err != nil || last != 3 {
+		t.Fatalf("overlapping batch Apply = %d, %v", last, err)
+	}
+	if _, events = rep.Counts(); events != 0 {
+		t.Errorf("event not acked by overlapping batch: %d pending", events)
+	}
+	// A duplicate register must not duplicate the rule in recovery order.
+	var recovered []string
+	_, err := rep.Recover(
+		func(id string, doc *xmltree.Node, at time.Time) error { recovered = append(recovered, id); return nil },
+		func(doc *xmltree.Node) error { return nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || recovered[0] != "a" {
+		t.Errorf("recovered rules = %v, want [a]", recovered)
+	}
+}
+
+// Takeover replays the mirror through the two-phase recovery shape: rules
+// first (in registration order), then orphaned events; records that fail to
+// register are skipped, not fatal.
+func TestReplicaRecoverTwoPhase(t *testing.T) {
+	rep := NewReplica()
+	frames := [][]byte{
+		mustFrame(t, ruleRec(t, "r1")),
+		mustFrame(t, ruleRec(t, "r2")),
+		mustFrame(t, record{Kind: KindEvent, Time: time.Now(), Event: 7, Doc: `<ev n="7"/>`}),
+		mustFrame(t, record{Kind: KindEvent, Time: time.Now(), Event: 8, Doc: `<ev n="8"/>`}),
+		mustFrame(t, record{Kind: KindEventAck, Event: 7}),
+	}
+	if _, err := rep.Apply(1, batch(frames...)); err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	stats, err := rep.Recover(
+		func(id string, doc *xmltree.Node, at time.Time) error {
+			if id == "r2" {
+				return errors.New("refused")
+			}
+			order = append(order, "rule:"+id)
+			return nil
+		},
+		func(doc *xmltree.Node) error {
+			order = append(order, "event:"+doc.Root().AttrValue("", "n"))
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rules != 1 || stats.Events != 1 || stats.Skipped != 1 {
+		t.Errorf("stats = %+v, want 1 rule, 1 event, 1 skipped", stats)
+	}
+	want := []string{"rule:r1", "event:8"}
+	if len(order) != 2 || order[0] != want[0] || order[1] != want[1] {
+		t.Errorf("recovery order = %v, want %v", order, want)
+	}
+}

@@ -145,6 +145,12 @@ type Store struct {
 	recovering     bool
 	closed         bool
 
+	// Replication tap (see replication.go): repSeq numbers every appended
+	// record; repSink, when set, receives each framed record for shipping
+	// to a follower.
+	repSeq  uint64
+	repSink func(RepRecord)
+
 	// recovered* freeze what Open reconstructed, for Health and tests.
 	recoveredRules   int
 	recoveredEvents  int
@@ -435,6 +441,10 @@ func (s *Store) appendLocked(rec record) error {
 	s.journalBytes += int64(len(frame))
 	s.needsSync = true
 	s.met.records.With(rec.Kind).Inc()
+	s.repSeq++
+	if s.repSink != nil {
+		s.repSink(RepRecord{Seq: s.repSeq, Frame: frame})
+	}
 	if s.policy == FsyncAlways {
 		s.syncLocked()
 	}

@@ -1,0 +1,245 @@
+package system
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+)
+
+// TestEventsOverloadContract pins the documented 429 shape of POST /events:
+// Retry-After header plus the Overload JSON body — the contract cluster
+// forwarding relies on to tell shed load from hard failure.
+func TestEventsOverloadContract(t *testing.T) {
+	sys, err := NewLocal(Config{MaxPendingEvents: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	srv := httptest.NewServer(sys.Mux(nil, nil))
+	defer srv.Close()
+
+	// Occupy the single admission slot, as an in-flight request would.
+	sys.eventSlots <- struct{}{}
+	resp, err := http.Post(srv.URL+"/events", "application/xml",
+		strings.NewReader(`<t:ping xmlns:t="`+tNS+`"/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded POST /events: HTTP %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want 1", got)
+	}
+	var ov Overload
+	if err := json.Unmarshal(body, &ov); err != nil {
+		t.Fatalf("overload body %q: %v", body, err)
+	}
+	if ov.Error != "overloaded" || ov.RetryAfterSeconds != 1 {
+		t.Errorf("overload body = %+v", ov)
+	}
+
+	// Releasing the slot restores service.
+	<-sys.eventSlots
+	resp, err = http.Post(srv.URL+"/events", "application/xml",
+		strings.NewReader(`<t:ping xmlns:t="`+tNS+`"/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("POST /events after release: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestSingleNodeRuleListingUnchanged is the regression guard for the owner
+// field: on a single-node deployment GET /engine/rules must be
+// byte-identical to the engine's own snapshot serialization — in
+// particular, no "owner" key may appear.
+func TestSingleNodeRuleListingUnchanged(t *testing.T) {
+	sys, err := NewLocal(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	srv := httptest.NewServer(sys.Mux(nil, nil))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/engine/rules", "application/xml",
+		strings.NewReader(simpleRuleXML("solo")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/engine/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), "owner") {
+		t.Errorf("single-node rule listing leaks the owner field:\n%s", body)
+	}
+	// Byte-for-byte: the handler output is exactly the indented marshal of
+	// the engine snapshot, as it was before clustering existed.
+	var want strings.Builder
+	enc := json.NewEncoder(&want)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Rules []engine.RuleInfo `json:"rules"`
+	}{sys.Engine.RuleInfos()})
+	if string(body) != want.String() {
+		t.Errorf("listing diverged from engine snapshot:\n got %s\nwant %s", body, want.String())
+	}
+}
+
+// clusterNode is one in-process member of a test cluster: a full System
+// served on a real listener.
+type clusterNode struct {
+	sys *System
+	srv *http.Server
+	url string
+}
+
+// startCluster boots n Systems as cluster peers node-0..node-n-1 on real
+// loopback listeners and starts their probers.
+func startCluster(t *testing.T, n int, probe time.Duration) []*clusterNode {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	peers := make([]cluster.Peer, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		peers[i] = cluster.Peer{ID: fmt.Sprintf("node-%d", i), URL: "http://" + ln.Addr().String()}
+	}
+	nodes := make([]*clusterNode, n)
+	for i := range nodes {
+		sys, err := NewLocal(Config{Cluster: &cluster.Options{
+			NodeID:        peers[i].ID,
+			Peers:         peers,
+			ReplicateTo:   "none", // no stores in this in-process test
+			ProbeInterval: probe,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &http.Server{Handler: sys.Mux(nil, nil)}
+		go srv.Serve(lns[i])
+		sys.StartCluster()
+		nodes[i] = &clusterNode{sys: sys, srv: srv, url: peers[i].URL}
+		t.Cleanup(func() { srv.Close(); sys.Close() })
+	}
+	return nodes
+}
+
+// ruleOwnedBy finds a rule id the cluster ring assigns to the wanted node.
+func ruleOwnedBy(t *testing.T, node *System, want string) string {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("pick-%d", i)
+		if node.Cluster.Owner(id) == want {
+			return id
+		}
+	}
+	t.Fatalf("no rule id hashes to %s", want)
+	return ""
+}
+
+func TestClusterShardsRulesAndRoutesEvents(t *testing.T) {
+	nodes := startCluster(t, 2, 50*time.Millisecond)
+	a, b := nodes[0], nodes[1]
+
+	// A rule whose id hashes to node-1, registered via node-0, must land on
+	// node-1 and carry its owner in the listing.
+	remoteID := ruleOwnedBy(t, a.sys, "node-1")
+	resp, err := http.Post(a.url+"/engine/rules", "application/xml",
+		strings.NewReader(simpleRuleXML(remoteID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != remoteID {
+		t.Fatalf("forwarded registration: HTTP %d %q", resp.StatusCode, body)
+	}
+	if got := len(a.sys.Engine.Rules()); got != 0 {
+		t.Errorf("rule registered on the wrong node: node-0 has %d rules", got)
+	}
+	if got := b.sys.Engine.Rules(); len(got) != 1 || got[0] != remoteID {
+		t.Fatalf("node-1 rules = %v, want [%s]", got, remoteID)
+	}
+
+	resp, err = http.Get(b.url + "/engine/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"owner": "node-1"`) {
+		t.Errorf("clustered listing lacks the owner field:\n%s", body)
+	}
+
+	// An event matching the rule, posted to the non-owning node, is
+	// forwarded (202) and fires on the owner.
+	resp, err = http.Post(a.url+"/events", "application/xml",
+		strings.NewReader(`<t:ping xmlns:t="`+tNS+`" x="9"/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("forwarded event: HTTP %d %q", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "node-1") {
+		t.Errorf("forward response = %q", body)
+	}
+	if fired := len(b.sys.Notifier.Sent()); fired != 1 {
+		t.Errorf("rule fired %d times on its owner, want 1", fired)
+	}
+	if stray := len(a.sys.Notifier.Sent()); stray != 0 {
+		t.Errorf("non-owning node fired %d times", stray)
+	}
+
+	// A rule owned by the receiving node registers locally.
+	localID := ruleOwnedBy(t, a.sys, "node-0")
+	resp, err = http.Post(a.url+"/engine/rules", "application/xml",
+		strings.NewReader(strings.ReplaceAll(simpleRuleXML(localID), "t:ping", "t:local")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := a.sys.Engine.Rules(); len(got) != 1 || got[0] != localID {
+		t.Fatalf("node-0 rules = %v, want [%s]", got, localID)
+	}
+
+	// The health document carries the cluster section.
+	resp, err = http.Get(a.url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Health
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Cluster == nil || h.Cluster.Node != "node-0" {
+		t.Errorf("healthz cluster section = %+v", h.Cluster)
+	}
+}

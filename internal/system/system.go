@@ -7,6 +7,7 @@ package system
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/bindings"
+	"repro/internal/cluster"
 	"repro/internal/datalog"
 	"repro/internal/engine"
 	"repro/internal/events"
@@ -123,6 +125,17 @@ type Config struct {
 	// historical behaviour. Call System.Recover after NewLocal to replay
 	// the recovered state into the engine.
 	Store *store.Store
+	// Cluster joins this system to a multi-node deployment (rule sharding,
+	// event forwarding, journal replication — see internal/cluster and
+	// docs/CLUSTERING.md). nil runs single-node, behaviourally identical
+	// to a build without the cluster layer. Call System.StartCluster after
+	// Recover to launch probing and replication.
+	Cluster *cluster.Options
+	// MaxPendingEvents caps how many POST /events requests may be in
+	// flight at once; excess requests are answered 429 with a Retry-After
+	// header and the documented overload body. Zero means no admission
+	// limit, the historical behaviour.
+	MaxPendingEvents int
 }
 
 // System is one wired deployment of the architecture.
@@ -134,9 +147,11 @@ type System struct {
 	Notifier *Notifier
 	Obs      *obs.Hub
 	Log      *obs.Logger
-	Durable  *store.Store // nil when the deployment is in-memory only
+	Durable  *store.Store  // nil when the deployment is in-memory only
+	Cluster  *cluster.Node // nil when the deployment is single-node
 
-	pprof bool
+	pprof      bool
+	eventSlots chan struct{} // admission semaphore for POST /events; nil = unlimited
 
 	Matcher *services.EventMatcher
 	Snoop   *services.SnoopService
@@ -151,8 +166,8 @@ type System struct {
 // quickstart example and most tests.
 func NewLocal(cfg Config) (*System, error) {
 	s := &System{
-		Stream:   events.NewStream(),
-		Store:    services.NewDocStore(),
+		Stream: events.NewStream(),
+		Store:  services.NewDocStore(),
 		GRH: grh.New(grh.WithObs(cfg.Obs), grh.WithTimeout(cfg.HTTPTimeout),
 			grh.WithRetry(cfg.Retry), grh.WithBreaker(cfg.Breaker),
 			grh.WithCache(cfg.Cache), grh.WithPartition(cfg.Partition),
@@ -210,7 +225,31 @@ func NewLocal(cfg Config) (*System, error) {
 	s.GRH.SetDefault(ruleml.QueryComponent, services.XQueryNS)
 	s.GRH.SetDefault(ruleml.TestComponent, services.TestNS)
 	s.GRH.SetDefault(ruleml.ActionComponent, services.ActionNS)
+	if cfg.MaxPendingEvents > 0 {
+		s.eventSlots = make(chan struct{}, cfg.MaxPendingEvents)
+	}
+	if cfg.Cluster != nil {
+		node, err := cluster.New(*cfg.Cluster, cluster.Hooks{
+			LocalRules:        s.Engine.RegisteredRules,
+			RegisterRecovered: s.registerRecovered,
+			PublishRecovered:  s.publishRecovered,
+		}, cfg.Store)
+		if err != nil {
+			return nil, err
+		}
+		s.Cluster = node
+	}
 	return s, nil
+}
+
+// StartCluster launches the cluster node's health prober and journal
+// shipper. Call it once, after Recover has replayed the local journal (the
+// shipper's opening base sync must mirror the recovered state); a no-op on
+// single-node deployments.
+func (s *System) StartCluster() {
+	if s.Cluster != nil {
+		s.Cluster.Start()
+	}
 }
 
 // Mux builds the HTTP surface of a distributed deployment: every component
@@ -230,7 +269,11 @@ func NewLocal(cfg Config) (*System, error) {
 //	GET  /engine/rules        rule bookkeeping as JSON (?format=ids for the plain id list)
 //	GET  /engine/rules/{id}   one rule's bookkeeping as JSON
 //	DELETE /engine/rules/{id} unregisters the rule
-//	POST /events              event payload → journaled (when durable) and published
+//	POST /events              event payload → journaled (when durable) and published;
+//	                          routed/forwarded to matching peers when clustered;
+//	                          429 + Retry-After + Overload body past the admission limit
+//	GET  /cluster/status      this node's cluster view as JSON (when clustered)
+//	POST /cluster/journal     journal replication ingest from a peer (when clustered)
 //	GET  /engine/stats        plain-text counters
 //	GET  /healthz             liveness + rule/service counts as JSON (incl. store section)
 //	GET  /metrics             Prometheus text exposition (when Obs is set)
@@ -274,7 +317,7 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 			}
 			writeJSON(w, struct {
 				Rules []engine.RuleInfo `json:"rules"`
-			}{s.Engine.RuleInfos()})
+			}{s.ruleInfos()})
 		case http.MethodPost:
 			doc, err := xmltree.Parse(r.Body)
 			if err != nil {
@@ -285,6 +328,31 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 				return
+			}
+			// On a clustered deployment a first-hand registration (no origin
+			// header) goes to the rule id's owner on the hash ring; ids are
+			// minted before hashing so placement is decided here.
+			if s.Cluster != nil && r.Header.Get(cluster.OriginHeader) == "" {
+				if rule.ID == "" {
+					rule.ID = s.Cluster.AssignID(doc)
+					if root := doc.Root(); root != nil {
+						root.SetAttr("", "id", rule.ID)
+					}
+				}
+				if owner := s.Cluster.Owner(rule.ID); owner != s.Cluster.ID() {
+					status, body, err := s.Cluster.ForwardRule(rule, owner)
+					switch {
+					case err == nil:
+						w.WriteHeader(status)
+						fmt.Fprint(w, body)
+						return
+					case !errors.Is(err, cluster.ErrPeerDown):
+						http.Error(w, err.Error(), http.StatusBadGateway)
+						return
+					}
+					// Owner declared dead: register locally so the cluster
+					// stays writable during failover.
+				}
 			}
 			if err := s.Engine.Register(rule); err != nil {
 				http.Error(w, err.Error(), http.StatusUnprocessableEntity)
@@ -303,7 +371,7 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 		}
 		switch r.Method {
 		case http.MethodGet:
-			for _, info := range s.Engine.RuleInfos() {
+			for _, info := range s.ruleInfos() {
 				if info.ID == id {
 					writeJSON(w, info)
 					return
@@ -329,10 +397,32 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 			http.Error(w, "POST an event document", http.StatusMethodNotAllowed)
 			return
 		}
+		if s.eventSlots != nil {
+			select {
+			case s.eventSlots <- struct{}{}:
+				defer func() { <-s.eventSlots }()
+			default:
+				writeOverloaded(w)
+				return
+			}
+		}
 		doc, err := xmltree.Parse(r.Body)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
+		}
+		// Clustered deployments route the event to the replicas whose rules
+		// can match it; a request a peer already forwarded (origin header
+		// set) is always handled locally, which keeps forwarding one-hop.
+		if s.Cluster != nil && r.Header.Get(cluster.OriginHeader) == "" {
+			res := s.Cluster.RouteEvent(doc)
+			// Publish locally when local rules match — or when no peer
+			// accepted the event, so it is never silently dropped.
+			if !res.Local && len(res.Forwarded) > 0 {
+				w.WriteHeader(http.StatusAccepted)
+				fmt.Fprintf(w, "forwarded to %s\n", strings.Join(res.Forwarded, " "))
+				return
+			}
 		}
 		// Journal the accepted event before dispatch, acknowledge after:
 		// a crash in between leaves an orphan record that recovery
@@ -352,6 +442,10 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 			st.RulesRegistered, st.InstancesCreated, st.InstancesCompleted, st.InstancesDied, st.ActionRuns, len(s.Notifier.Sent()))
 	})
 	mux.HandleFunc("/healthz", s.healthz)
+	if s.Cluster != nil {
+		mux.HandleFunc("/cluster/status", s.Cluster.StatusHandler)
+		mux.HandleFunc("/cluster/journal", s.Cluster.JournalHandler)
+	}
 	if s.Obs != nil {
 		mux.Handle("/metrics", s.Obs.MetricsHandler())
 		mux.Handle("/debug/traces", s.Obs.TracesHandler())
@@ -366,17 +460,47 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 	return mux
 }
 
+// Overload is the documented JSON body of a 429 from POST /events: the
+// node's admission limit (Config.MaxPendingEvents) is full and the caller
+// should retry after RetryAfterSeconds. Cluster peers use the shape to
+// tell shed load (retry later, nothing is wrong) from hard failure.
+type Overload struct {
+	Error             string `json:"error"` // always "overloaded"
+	RetryAfterSeconds int    `json:"retry_after_seconds"`
+}
+
+func writeOverloaded(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	json.NewEncoder(w).Encode(Overload{Error: "overloaded", RetryAfterSeconds: 1})
+}
+
+// ruleInfos is RuleInfos plus the owner stamp: on clustered deployments
+// every locally registered rule is owned by this node. Single-node output
+// is unchanged (the field is omitempty).
+func (s *System) ruleInfos() []engine.RuleInfo {
+	infos := s.Engine.RuleInfos()
+	if s.Cluster != nil {
+		for i := range infos {
+			infos[i].Owner = s.Cluster.ID()
+		}
+	}
+	return infos
+}
+
 // Health is the /healthz response body.
 type Health struct {
-	Status             string        `json:"status"`
-	UptimeSeconds      float64       `json:"uptime_seconds"`
-	Rules              int           `json:"rules"`
-	Languages          int           `json:"languages"`
-	InstancesCreated   int           `json:"instances_created"`
-	InstancesCompleted int           `json:"instances_completed"`
-	InstancesDied      int           `json:"instances_died"`
-	Notifications      int           `json:"notifications"`
-	Store              *store.Health `json:"store,omitempty"` // absent for in-memory deployments
+	Status             string          `json:"status"`
+	UptimeSeconds      float64         `json:"uptime_seconds"`
+	Rules              int             `json:"rules"`
+	Languages          int             `json:"languages"`
+	InstancesCreated   int             `json:"instances_created"`
+	InstancesCompleted int             `json:"instances_completed"`
+	InstancesDied      int             `json:"instances_died"`
+	Notifications      int             `json:"notifications"`
+	Store              *store.Health   `json:"store,omitempty"`   // absent for in-memory deployments
+	Cluster            *cluster.Status `json:"cluster,omitempty"` // absent for single-node deployments
 }
 
 func (s *System) healthz(w http.ResponseWriter, r *http.Request) {
@@ -395,6 +519,10 @@ func (s *System) healthz(w http.ResponseWriter, r *http.Request) {
 		sh := s.Durable.Health()
 		h.Store = &sh
 	}
+	if s.Cluster != nil {
+		cs := s.Cluster.Status()
+		h.Cluster = &cs
+	}
 	writeJSON(w, h)
 }
 
@@ -411,6 +539,11 @@ func writeJSON(w http.ResponseWriter, v any) {
 // store (if any) snapshots, compacts and closes its journal. Safe to call
 // more than once.
 func (s *System) Close() {
+	if s.Cluster != nil {
+		// First: stop probing, forwarding and journal shipping before the
+		// engine and store they feed off shut down.
+		s.Cluster.Close()
+	}
 	s.Engine.Close()
 	s.Matcher.Close()
 	s.Snoop.Close()
@@ -433,24 +566,32 @@ func (s *System) Recover() (store.RecoveryStats, error) {
 	if s.Durable == nil {
 		return store.RecoveryStats{}, nil
 	}
-	return s.Durable.Recover(
-		func(id string, doc *xmltree.Node, registered time.Time) error {
-			rule, err := ruleml.Parse(doc)
-			if err != nil {
-				return err
-			}
-			rule.ID = id
-			if err := s.Engine.Register(rule); err != nil {
-				return err
-			}
-			s.Engine.SetRegistered(id, registered)
-			return nil
-		},
-		func(doc *xmltree.Node) error {
-			s.Stream.Publish(events.New(doc))
-			return nil
-		},
-	)
+	return s.Durable.Recover(s.registerRecovered, s.publishRecovered)
+}
+
+// registerRecovered re-registers one journaled rule through the regular
+// validation path, restoring its id and registration time. It is the
+// rule-phase callback of both crash recovery (Recover) and cluster
+// partition takeover.
+func (s *System) registerRecovered(id string, doc *xmltree.Node, registered time.Time) error {
+	rule, err := ruleml.Parse(doc)
+	if err != nil {
+		return err
+	}
+	rule.ID = id
+	if err := s.Engine.Register(rule); err != nil {
+		return err
+	}
+	s.Engine.SetRegistered(id, registered)
+	return nil
+}
+
+// publishRecovered re-publishes one orphaned event — accepted but never
+// dispatched — on the local stream; the event phase of both crash recovery
+// and cluster partition takeover.
+func (s *System) publishRecovered(doc *xmltree.Node) error {
+	s.Stream.Publish(events.New(doc))
+	return nil
 }
 
 // Distribute re-registers every component language in the GRH as a REMOTE

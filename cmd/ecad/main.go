@@ -9,7 +9,8 @@
 //	     [-datalog rules.dl] [-travel] [-distribute] [-metrics] [-pprof] [-v] \
 //	     [-log-level info] [-log-format text|json] \
 //	     [-retries N] [-breaker-failures N] [-breaker-cooldown 30s] \
-//	     [-cache-entries N] [-cache-ttl 30s] [-shard-tuples N] [-max-shards K] \
+//	     [-cache-entries N] [-cache-ttl 30s] [-compile-cache-entries N] \
+//	     [-shard-tuples N] [-max-shards K] \
 //	     [-data-dir DIR] [-fsync always|interval|never] [-snapshot-every N] \
 //	     [-node-id ID -peers id=url,id=url,...] [-replicate-to ID|none] \
 //	     [-probe-interval 1s] [-peer-down-after N] [-max-pending-events N]
@@ -57,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/compilecache"
 	"repro/internal/datalog"
 	"repro/internal/domain/travel"
 	"repro/internal/engine"
@@ -91,6 +93,7 @@ type options struct {
 	breakerCooldown time.Duration
 	cacheEntries    int
 	cacheTTL        time.Duration
+	compileEntries  int
 	shardTuples     int
 	maxShards       int
 	dataDir         string
@@ -144,6 +147,7 @@ func main() {
 	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", grh.DefaultBreakerPolicy.Cooldown, "how long an open circuit breaker sheds load before probing the endpoint again")
 	flag.IntVar(&o.cacheEntries, "cache-entries", 0, "GRH answer cache size for idempotent dispatches (queries/tests; 0 disables caching and coalescing)")
 	flag.DurationVar(&o.cacheTTL, "cache-ttl", grh.DefaultCacheTTL, "how long a cached answer may be served (staleness bound)")
+	flag.IntVar(&o.compileEntries, "compile-cache-entries", compilecache.DefaultCapacity, "compiled-expression cache size shared by the component languages (0 disables compile caching)")
 	flag.IntVar(&o.shardTuples, "shard-tuples", 0, "shard idempotent dispatches whose input relation exceeds this many tuples (0 disables partitioning)")
 	flag.IntVar(&o.maxShards, "max-shards", grh.DefaultMaxShards, "concurrent shard fan-out cap per partitioned dispatch")
 	flag.StringVar(&o.dataDir, "data-dir", "", "durable store directory for the rule/event journal (empty = in-memory only)")
@@ -195,6 +199,7 @@ func run(o options) error {
 	if o.breakerFailures > 0 {
 		cfg.Breaker = grh.BreakerPolicy{FailureThreshold: o.breakerFailures, Cooldown: o.breakerCooldown}
 	}
+	compilecache.Default.SetCapacity(o.compileEntries)
 	if o.cacheEntries > 0 {
 		cfg.Cache = grh.CachePolicy{MaxEntries: o.cacheEntries, TTL: o.cacheTTL}
 	}

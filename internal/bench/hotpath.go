@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bindings"
+	"repro/internal/compilecache"
+	"repro/internal/datalog"
+	"repro/internal/domain/travel"
+	"repro/internal/obs"
+	"repro/internal/services"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+	"repro/internal/xq"
+)
+
+// minWarmSpeedup gates the hotpath series (and so BENCH_hotpath.json in
+// CI): every language's warm-path compiled-expression acquisition must be
+// at least this much faster than per-dispatch recompilation.
+const minWarmSpeedup = 2.0
+
+// seriesHotpath quantifies the compile-once pipeline: acquiring a compiled
+// expression through the warm cache vs. re-running the compiler on every
+// dispatch, per language, plus an end-to-end EvalTest context row.
+func seriesHotpath(w io.Writer, hub *obs.Hub) error {
+	cache := compilecache.Default
+	cache.SetObs(hub)
+	defer cache.SetObs(nil)
+	cache.SetCapacity(compilecache.DefaultCapacity)
+	cache.Purge()
+
+	fmt.Fprintln(w, "series hotpath — compiled-expression acquisition, warm cache vs per-dispatch recompilation")
+	fmt.Fprintln(w, "language\texpr\tns/recompile\tns/warm\tspeedup")
+
+	cases := []struct {
+		lang, name string
+		recompile  func() error
+		warm       func() error
+	}{
+		{"xpath", "predicate", func() error {
+			_, err := xpath.Compile(`//owner[@name='John Doe']/car[year>2004]/model`)
+			return err
+		}, func() error {
+			_, err := xpath.CompileCached(`//owner[@name='John Doe']/car[year>2004]/model`)
+			return err
+		}},
+		{"xq", "own-cars", func() error {
+			_, err := xq.Compile(`for $c in doc('` + travel.CarsDoc + `')//owner[@name=$Person]/car return $c/model/text()`)
+			return err
+		}, func() error {
+			_, err := xq.CompileCached(`for $c in doc('` + travel.CarsDoc + `')//owner[@name=$Person]/car return $c/model/text()`)
+			return err
+		}},
+		{"datalog", "goal", func() error {
+			_, err := datalog.ParseQuery(`reservation(Person, Car, CarClass, StartStation, DestStation, PickupDay, ReturnDay, Price)`)
+			return err
+		}, func() error {
+			_, err := datalog.ParseQueryCached(`reservation(Person, Car, CarClass, StartStation, DestStation, PickupDay, ReturnDay, Price)`)
+			return err
+		}},
+	}
+
+	worst := 0.0
+	for i, c := range cases {
+		// One warm call outside the timers so the warm loop measures hits.
+		if err := c.warm(); err != nil {
+			return fmt.Errorf("hotpath %s: %w", c.lang, err)
+		}
+		const n = 20000
+		coldNs := measure(n, func(int) {
+			if err := c.recompile(); err != nil {
+				panic(err)
+			}
+		})
+		warmNs := measure(n, func(int) {
+			if err := c.warm(); err != nil {
+				panic(err)
+			}
+		})
+		speedup := coldNs / warmNs
+		if i == 0 || speedup < worst {
+			worst = speedup
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%.1f×\n", c.lang, c.name, coldNs, warmNs, speedup)
+	}
+
+	// Context row: the evaluation hot path end to end (compile acquisition
+	// + evaluation), the shape EvalTest actually runs per dispatch.
+	fmt.Fprintln(w, "\nend-to-end evaluation (compile + eval per call):")
+	fmt.Fprintln(w, "path\tns/eval(recompile)\tns/eval(warm)\tspeedup")
+	rel := makeRelation(64, 8, "Class", "N")
+	cond := `$Class != 'compact' and $N != 'v0'`
+	freshNs := measure(2000, func(int) {
+		if _, err := evalTestFresh(cond, rel); err != nil {
+			panic(err)
+		}
+	})
+	warmNs := measure(2000, func(int) {
+		if _, err := services.EvalTest(cond, rel); err != nil {
+			panic(err)
+		}
+	})
+	fmt.Fprintf(w, "test-64-tuples\t%.0f\t%.0f\t%.2f×\n", freshNs, warmNs, freshNs/warmNs)
+
+	hub.Metrics().Gauge("bench_warm_speedup", "Worst per-language warm-path speedup of the hotpath series.").Set(worst)
+	if worst < minWarmSpeedup {
+		return fmt.Errorf("hotpath: warm-path speedup %.2f× below the %.0f× gate", worst, minWarmSpeedup)
+	}
+	return nil
+}
+
+// evalTestFresh is the pre-cache EvalTest shape — compile on every call —
+// kept as the recompile baseline the series compares against.
+func evalTestFresh(cond string, rel *bindings.Relation) (*bindings.Relation, error) {
+	expr, err := xpath.Compile(cond)
+	if err != nil {
+		return nil, err
+	}
+	dummy := xmltree.NewDocument()
+	return rel.Select(func(t bindings.Tuple) bool {
+		vars := make(map[string]xpath.Object, len(t))
+		for name, v := range t {
+			vars[name] = v.AsString()
+		}
+		ok, err := expr.EvalBool(&xpath.Context{Node: dummy, Vars: vars})
+		return err == nil && ok
+	}), nil
+}

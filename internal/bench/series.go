@@ -31,7 +31,7 @@ func serveMux(sc *travel.Scenario) (*httptest.Server, error) {
 
 // Series lists the available performance series.
 func Series() []string {
-	return []string{"reg", "match", "snoop", "join", "grh", "e2e", "datalog", "xq", "xpath", "resilience", "cache", "partition"}
+	return []string{"reg", "match", "snoop", "join", "grh", "e2e", "datalog", "xq", "xpath", "resilience", "cache", "partition", "hotpath"}
 }
 
 // RunSeries executes one named series, printing a table to w. Series that
@@ -73,6 +73,8 @@ func RunSeriesStats(name string, w io.Writer) (SeriesStats, error) {
 		err = seriesCache(w, hub)
 	case "partition":
 		err = seriesPartition(w, hub)
+	case "hotpath":
+		err = seriesHotpath(w, hub)
 	default:
 		return SeriesStats{}, fmt.Errorf("bench: unknown series %q (have %v)", name, Series())
 	}

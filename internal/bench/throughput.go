@@ -31,6 +31,12 @@ type SeriesStats struct {
 	Coalesced      int64   `json:"coalesced"`
 	Shards         int64   `json:"shards"`
 	ShardFanoutP95 float64 `json:"shard_fanout_p95"`
+
+	// Compile-once pipeline (hotpath series; zero elsewhere unless the
+	// series drove the expression cache).
+	CompileCacheHits   int64   `json:"compile_cache_hits,omitempty"`
+	CompileCacheMisses int64   `json:"compile_cache_misses,omitempty"`
+	WarmSpeedup        float64 `json:"warm_speedup,omitempty"`
 }
 
 // statsFrom snapshots the throughput stats of a series from its hub.
@@ -51,6 +57,9 @@ func statsFrom(name string, hub *obs.Hub) SeriesStats {
 		st.CacheHitRate = float64(st.CacheHits) / float64(total)
 	}
 	st.ShardFanoutP95 = m.Histogram("grh_shard_fanout", "", nil).Quantile(0.95)
+	st.CompileCacheHits = m.Counter("compile_cache_hits_total", "").Value()
+	st.CompileCacheMisses = m.Counter("compile_cache_misses_total", "").Value()
+	st.WarmSpeedup = m.Gauge("bench_warm_speedup", "").Value()
 	return st
 }
 

@@ -1,0 +1,58 @@
+package bindings
+
+import "sync"
+
+// The relation algebra runs on every rule firing, so its per-tuple
+// allocations dominate the engine's hot path (ROADMAP open item 1). This
+// file holds the allocation-avoidance machinery shared by relation.go:
+// a variable-name interner, pooled key-scratch buffers, and a tuple-map
+// pool.
+//
+// Pooling invariant: a pool-obtained tuple is released back to the pool in
+// exactly one place — when duplicate elimination rejects it, before it was
+// ever stored in a relation or otherwise made visible to callers. Tuples
+// that land in Relation.tuples are never recycled, so slices returned by
+// Tuples() stay valid forever. See docs/PERFORMANCE.md.
+
+// interned maps a variable name to its canonical instance.
+var interned sync.Map // string → string
+
+// Intern returns a canonical instance of s. Variable names and QNames
+// recur across every tuple, event and answer; interning them makes the
+// many map keys of a long-running engine share one backing string.
+func Intern(s string) string {
+	if v, ok := interned.Load(s); ok {
+		return v.(string)
+	}
+	v, _ := interned.LoadOrStore(s, s)
+	return v.(string)
+}
+
+// keyScratch is the reusable state for computing tuple and join keys: the
+// key bytes themselves and the sorted-variable-name scratch slice.
+type keyScratch struct {
+	buf   []byte
+	names []string
+}
+
+var scratchPool = sync.Pool{New: func() any { return &keyScratch{buf: make([]byte, 0, 128)} }}
+
+func getScratch() *keyScratch { return scratchPool.Get().(*keyScratch) }
+
+func putScratch(s *keyScratch) {
+	s.buf = s.buf[:0]
+	s.names = s.names[:0]
+	scratchPool.Put(s)
+}
+
+// tuplePool recycles tuple maps rejected by duplicate elimination.
+var tuplePool = sync.Pool{New: func() any { return make(Tuple, 8) }}
+
+func getTuple() Tuple { return tuplePool.Get().(Tuple) }
+
+// releaseTuple returns a pool-obtained tuple after clearing it. Callers
+// must guarantee the tuple was never stored in a relation or handed out.
+func releaseTuple(t Tuple) {
+	clear(t)
+	tuplePool.Put(t)
+}

@@ -26,7 +26,7 @@ func NewTuple(pairs ...any) (Tuple, error) {
 		if !ok {
 			return nil, fmt.Errorf("bindings: NewTuple: argument %d is not a Value", i+1)
 		}
-		t[name] = v
+		t[Intern(name)] = v
 	}
 	return t, nil
 }
@@ -104,12 +104,28 @@ func (t Tuple) Equal(u Tuple) bool {
 
 // key returns a canonical string for duplicate elimination.
 func (t Tuple) key() string {
-	vars := t.Vars()
-	parts := make([]string, len(vars))
-	for i, k := range vars {
-		parts[i] = k + "\x00" + t[k].Key()
+	buf, _ := t.appendKey(nil, nil)
+	return string(buf)
+}
+
+// appendKey appends the canonical dedup key of t to buf, reusing names as
+// sorting scratch, and returns both grown slices. Tuples that are Equal
+// produce identical keys (variables sorted, values via Value.appendKey).
+func (t Tuple) appendKey(buf []byte, names []string) ([]byte, []string) {
+	names = names[:0]
+	for k := range t {
+		names = append(names, k)
 	}
-	return strings.Join(parts, "\x01")
+	sort.Strings(names)
+	for i, k := range names {
+		if i > 0 {
+			buf = append(buf, '\x01')
+		}
+		buf = append(buf, k...)
+		buf = append(buf, '\x00')
+		buf = t[k].appendKey(buf)
+	}
+	return buf, names
 }
 
 // String renders the tuple as {X=v, Y=w} with variables sorted.
@@ -155,16 +171,30 @@ func Unit() *Relation { return NewRelation(Tuple{}) }
 
 // Add inserts a tuple unless an Equal tuple is already present.
 // It reports whether the tuple was inserted.
-func (r *Relation) Add(t Tuple) bool {
+func (r *Relation) Add(t Tuple) bool { return r.add(t, false) }
+
+// add is Add with the pooling contract: when pooled is set, a rejected
+// duplicate is returned to the tuple pool (it was never stored, so no one
+// else can hold a reference). The dedup lookup itself does not allocate —
+// the key is built in pooled scratch and only converted to a string when
+// the tuple is actually inserted.
+func (r *Relation) add(t Tuple, pooled bool) bool {
 	if r.index == nil {
 		r.index = map[string][]int{}
 	}
-	k := t.key()
-	for _, i := range r.index[k] {
+	sc := getScratch()
+	sc.buf, sc.names = t.appendKey(sc.buf[:0], sc.names)
+	for _, i := range r.index[string(sc.buf)] {
 		if r.tuples[i].Equal(t) {
+			putScratch(sc)
+			if pooled {
+				releaseTuple(t)
+			}
 			return false
 		}
 	}
+	k := string(sc.buf)
+	putScratch(sc)
 	r.index[k] = append(r.index[k], len(r.tuples))
 	r.tuples = append(r.tuples, t)
 	if len(t) > 0 {
@@ -176,6 +206,25 @@ func (r *Relation) Add(t Tuple) bool {
 		}
 	}
 	return true
+}
+
+// newSized returns an empty relation with storage preallocated for about n
+// tuples, so bulk producers (Join, Select, Project) do not regrow.
+func newSized(n int) *Relation {
+	return &Relation{tuples: make([]Tuple, 0, n), index: make(map[string][]int, n)}
+}
+
+// mergeTuples merges two tuples into a pool-obtained map (t wins on shared
+// variables, like Tuple.Merge). The result must go through add(…, true).
+func mergeTuples(t, u Tuple) Tuple {
+	m := getTuple()
+	for k, v := range u {
+		m[k] = v
+	}
+	for k, v := range t {
+		m[k] = v
+	}
+	return m
 }
 
 // Size returns the number of tuples.
@@ -220,52 +269,56 @@ func (r *Relation) Join(s *Relation) *Relation {
 		return &Relation{}
 	}
 	shared := sharedVars(r, s)
-	out := &Relation{}
 	if len(shared) == 0 {
 		// Cartesian product.
+		out := newSized(len(r.tuples) * len(s.tuples))
 		for _, t := range r.tuples {
 			for _, u := range s.tuples {
-				out.Add(t.Merge(u))
+				out.add(mergeTuples(t, u), true)
 			}
 		}
 		return out
 	}
 	// Hash join on the shared variables. Tuples missing one of the shared
 	// variables (heterogeneous relations) fall back to pairwise checks.
-	type bucket []Tuple
-	idx := map[string]bucket{}
+	out := newSized(max(len(r.tuples), len(s.tuples)))
+	idx := make(map[string][]Tuple, len(s.tuples))
 	var partialS []Tuple
+	sc := getScratch()
 	for _, u := range s.tuples {
-		k, ok := joinKey(u, shared)
+		var ok bool
+		sc.buf, ok = appendJoinKey(sc.buf[:0], u, shared)
 		if !ok {
 			partialS = append(partialS, u)
 			continue
 		}
-		idx[k] = append(idx[k], u)
+		idx[string(sc.buf)] = append(idx[string(sc.buf)], u)
 	}
 	for _, t := range r.tuples {
-		k, ok := joinKey(t, shared)
+		var ok bool
+		sc.buf, ok = appendJoinKey(sc.buf[:0], t, shared)
 		if !ok {
 			// t lacks a shared var: compatible with anything agreeing on
 			// the vars it does have.
 			for _, u := range s.tuples {
 				if t.Compatible(u) {
-					out.Add(t.Merge(u))
+					out.add(mergeTuples(t, u), true)
 				}
 			}
 			continue
 		}
-		for _, u := range idx[k] {
+		for _, u := range idx[string(sc.buf)] { // no-alloc probe
 			if t.Compatible(u) { // exact check (keys can collide for XML)
-				out.Add(t.Merge(u))
+				out.add(mergeTuples(t, u), true)
 			}
 		}
 		for _, u := range partialS {
 			if t.Compatible(u) {
-				out.Add(t.Merge(u))
+				out.add(mergeTuples(t, u), true)
 			}
 		}
 	}
+	putScratch(sc)
 	return out
 }
 
@@ -284,25 +337,29 @@ func sharedVars(r, s *Relation) []string {
 	return shared
 }
 
-func joinKey(t Tuple, vars []string) (string, bool) {
-	parts := make([]string, len(vars))
+// appendJoinKey appends the hash-join key of t over vars to buf, reporting
+// whether every var is bound in t.
+func appendJoinKey(buf []byte, t Tuple, vars []string) ([]byte, bool) {
 	for i, v := range vars {
 		val, ok := t[v]
 		if !ok {
-			return "", false
+			return buf, false
 		}
-		parts[i] = val.Key()
+		if i > 0 {
+			buf = append(buf, '\x01')
+		}
+		buf = val.appendKey(buf)
 	}
-	return strings.Join(parts, "\x01"), true
+	return buf, true
 }
 
 // Select returns the tuples satisfying pred — the test component's
 // semantics (σ): tuples failing the condition are discarded.
 func (r *Relation) Select(pred func(Tuple) bool) *Relation {
-	out := &Relation{}
+	out := newSized(len(r.tuples))
 	for _, t := range r.tuples {
 		if pred(t) {
-			out.Add(t)
+			out.add(t, false)
 		}
 	}
 	return out
@@ -315,27 +372,27 @@ func (r *Relation) Project(vars ...string) *Relation {
 	for _, v := range vars {
 		keep[v] = true
 	}
-	out := &Relation{}
+	out := newSized(len(r.tuples))
 	for _, t := range r.tuples {
-		p := Tuple{}
+		p := getTuple()
 		for k, v := range t {
 			if keep[k] {
 				p[k] = v
 			}
 		}
-		out.Add(p)
+		out.add(p, true)
 	}
 	return out
 }
 
 // Union returns the set union of two relations.
 func (r *Relation) Union(s *Relation) *Relation {
-	out := &Relation{}
+	out := newSized(len(r.tuples) + len(s.tuples))
 	for _, t := range r.tuples {
-		out.Add(t)
+		out.add(t, false)
 	}
 	for _, t := range s.tuples {
-		out.Add(t)
+		out.add(t, false)
 	}
 	return out
 }
@@ -346,12 +403,15 @@ func (r *Relation) Union(s *Relation) *Relation {
 // <eca:variable name="N"> construct: each answer of a functional expression
 // yields a separate variable binding.
 func (r *Relation) Extend(name string, f func(Tuple) []Value) *Relation {
-	out := &Relation{}
+	out := newSized(len(r.tuples))
 	for _, t := range r.tuples {
 		for _, v := range f(t) {
-			n := t.Clone()
+			n := getTuple()
+			for k, w := range t {
+				n[k] = w
+			}
 			n[name] = v
-			out.Add(n)
+			out.add(n, true)
 		}
 	}
 	return out

@@ -193,6 +193,45 @@ func textKey(s string) string {
 	return "s:" + s
 }
 
+// appendKey appends exactly what Key returns to b, reusing b's capacity so
+// hot-path key construction (Relation.Add dedup, hash-join bucketing) does
+// not allocate per value.
+func (v Value) appendKey(b []byte) []byte {
+	switch v.kind {
+	case URI:
+		b = append(b, "u:"...)
+		return append(b, v.str...)
+	case Number:
+		b = append(b, "n:"...)
+		return appendNumber(b, v.num)
+	case Bool:
+		if v.b {
+			return append(b, "b:true"...)
+		}
+		return append(b, "b:false"...)
+	case XML:
+		return appendTextKey(b, v.node.TextContent())
+	default:
+		return appendTextKey(b, v.str)
+	}
+}
+
+func appendTextKey(b []byte, s string) []byte {
+	if f, err := strconv.ParseFloat(strings.TrimSpace(s), 64); err == nil {
+		b = append(b, "n:"...)
+		return appendNumber(b, f)
+	}
+	b = append(b, "s:"...)
+	return append(b, s...)
+}
+
+func appendNumber(b []byte, f float64) []byte {
+	if f == float64(int64(f)) {
+		return strconv.AppendInt(b, int64(f), 10)
+	}
+	return strconv.AppendFloat(b, f, 'g', -1, 64)
+}
+
 // String renders the value for debugging and trace output.
 func (v Value) String() string {
 	switch v.kind {

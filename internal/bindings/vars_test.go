@@ -84,6 +84,7 @@ func BenchmarkJoin(b *testing.B) {
 			keys := n / 2
 			r := benchRelation(n, keys, "K", "A")
 			s := benchRelation(n, keys, "K", "B")
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				r.Join(s)

@@ -1,0 +1,26 @@
+package datalog
+
+import "repro/internal/compilecache"
+
+// QueryLang is the compile-cache language label for Datalog goals
+// (compile_seconds{language="datalog"}).
+const QueryLang = "datalog"
+
+func parseQueryAny(src string) (any, error) {
+	a, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ParseQueryCached is ParseQuery memoized through the process-wide compile
+// cache. The returned Atom is shared between callers: treat it as read-only
+// and copy Args before mutating (DatalogService.Handle already does).
+func ParseQueryCached(src string) (Atom, error) {
+	v, err := compilecache.Default.Get(QueryLang, src, parseQueryAny)
+	if err != nil {
+		return Atom{}, err
+	}
+	return v.(Atom), nil
+}

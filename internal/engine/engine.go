@@ -28,6 +28,12 @@ import (
 // legitimately collide with a recovered one) match it with errors.Is.
 var ErrDuplicateRule = errors.New("already registered")
 
+// ErrBadExpression reports a Register rejected because a component
+// expression failed registration-time compilation. The HTTP layer matches
+// it with errors.Is to answer 400 (client error in the rule document)
+// rather than 422.
+var ErrBadExpression = errors.New("component expression does not compile")
+
 // Journal receives durable notifications of rule life-cycle changes; the
 // store subsystem implements it to write the write-ahead journal. Both
 // methods are called outside the engine lock, after the change took
@@ -326,6 +332,12 @@ func (e *Engine) SetRegistered(id string, at time.Time) {
 func (e *Engine) Register(rule *ruleml.Rule) error {
 	if err := ruleml.Validate(rule, e.analyzer); err != nil {
 		return err
+	}
+	// Compile-once: warm the expression cache and reject rules whose
+	// component expressions do not compile, so the failure surfaces here
+	// (a 400 naming the component) instead of on every matching event.
+	if err := services.PrecompileRule(rule); err != nil {
+		return fmt.Errorf("engine: rule %q: %w: %w", rule.ID, ErrBadExpression, err)
 	}
 	e.mu.Lock()
 	if rule.ID == "" {

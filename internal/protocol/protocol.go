@@ -390,7 +390,7 @@ func DecodeAnswers(n *xmltree.Node) (*Answer, error) {
 				if err != nil {
 					return nil, fmt.Errorf("protocol: variable %s: %w", name, err)
 				}
-				row.Tuple[name] = v
+				row.Tuple[bindings.Intern(name)] = v
 			case "result":
 				v, err := DecodeValue(c.Children, c.AttrValue("", "type"))
 				if err != nil {

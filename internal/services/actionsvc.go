@@ -109,8 +109,10 @@ func (a *ActionExecutor) execute(expr *xmltree.Node, t bindings.Tuple) error {
 		if a.store == nil {
 			return fmt.Errorf("store:delete: no document store attached")
 		}
+		// Substitution yields per-tuple source text, so the cache's negative
+		// entries matter here: a bad selector is compiled (and rejected) once.
 		selector := grh.SubstituteVars(sel, t)
-		compiled, err := xpath.Compile(selector)
+		compiled, err := xpath.CompileCached(selector)
 		if err != nil {
 			return fmt.Errorf("store:delete select: %w", err)
 		}

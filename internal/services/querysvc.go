@@ -40,7 +40,7 @@ func (s *XQueryService) Handle(req *protocol.Request) (*protocol.Answer, error) 
 	if err != nil {
 		return nil, fmt.Errorf("xqueryd: %w", err)
 	}
-	q, err := xq.Compile(text)
+	q, err := xq.CompileCached(text)
 	if err != nil {
 		return nil, fmt.Errorf("xqueryd: %w", err)
 	}
@@ -160,7 +160,7 @@ func (s *DatalogService) Handle(req *protocol.Request) (*protocol.Answer, error)
 	if err != nil {
 		return nil, fmt.Errorf("datalogd: %w", err)
 	}
-	goal, err := datalog.ParseQuery(text)
+	goal, err := datalog.ParseQueryCached(text)
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +214,7 @@ func (TestEvaluator) Handle(req *protocol.Request) (*protocol.Answer, error) {
 // EvalTest filters a relation by a boolean XPath condition over the bound
 // variables (σ of Section 3).
 func EvalTest(cond string, rel *bindings.Relation) (*bindings.Relation, error) {
-	expr, err := xpath.Compile(cond)
+	expr, err := xpath.CompileCached(cond)
 	if err != nil {
 		return nil, fmt.Errorf("test: %w", err)
 	}
@@ -281,7 +281,7 @@ func (s *OpaqueXMLStore) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing query parameter", http.StatusBadRequest)
 		return
 	}
-	expr, err := xpath.Compile(q)
+	expr, err := xpath.CompileCached(q)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -346,7 +346,7 @@ func (s *OpaqueXQueryNode) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing query parameter", http.StatusBadRequest)
 		return
 	}
-	q, err := xq.Compile(qs)
+	q, err := xq.CompileCached(qs)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

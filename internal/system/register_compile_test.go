@@ -1,0 +1,126 @@
+package system
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/protocol"
+	"repro/internal/ruleml"
+	"repro/internal/services"
+)
+
+// badTestRuleXML is a rule whose test component is not valid XPath: before
+// registration-time precompilation the register succeeded and every
+// matching event produced a service error.
+func badTestRuleXML(id string) string {
+	return `<eca:rule xmlns:eca="` + protocol.ECANS + `" xmlns:t="` + tNS + `" id="` + id + `">
+	  <eca:event><t:ping x="$X"/></eca:event>
+	  <eca:test>$X !!= '7'</eca:test>
+	  <eca:action><t:pong x="$X"/></eca:action>
+	</eca:rule>`
+}
+
+// TestRegisterRejectsBadExpression pins the satellite contract: a rule
+// whose component expression does not compile is rejected at POST
+// /engine/rules with a 400 whose body names the offending component.
+func TestRegisterRejectsBadExpression(t *testing.T) {
+	sys, err := NewLocal(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(sys.Mux(nil, nil))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/engine/rules", "application/xml", strings.NewReader(badTestRuleXML("bad-test")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body %q", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "test[1]") {
+		t.Errorf("400 body does not name the bad component: %q", body)
+	}
+	if !strings.Contains(string(body), "bad-test") {
+		t.Errorf("400 body does not name the rule: %q", body)
+	}
+	// The rejected rule must not be registered.
+	for _, id := range sys.Engine.Rules() {
+		if id == "bad-test" {
+			t.Error("rejected rule is registered")
+		}
+	}
+
+	// Bad XQuery-lite query components are caught the same way.
+	badQuery := `<eca:rule xmlns:eca="` + protocol.ECANS + `" xmlns:t="` + tNS + `"
+	  xmlns:xq="` + services.XQueryNS + `" id="bad-query">
+	  <eca:event><t:ping x="$X"/></eca:event>
+	  <eca:query><xq:query>for $c in doc( return $c</xq:query></eca:query>
+	  <eca:action><t:pong x="$X"/></eca:action>
+	</eca:rule>`
+	resp, err = http.Post(srv.URL+"/engine/rules", "application/xml", strings.NewReader(badQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "query[1]") {
+		t.Fatalf("bad query: status %d body %q, want 400 naming query[1]", resp.StatusCode, body)
+	}
+
+	// A healthy rule still registers fine after the rejections.
+	resp, err = http.Post(srv.URL+"/engine/rules", "application/xml", strings.NewReader(simpleRuleXML("ok-rule")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy rule: status %d", resp.StatusCode)
+	}
+}
+
+// TestRegisterSkipsOpaquePinnedComponents: components addressed to a pinned
+// service URI are opaque to the engine and must not be precompiled — their
+// text may be in any language (Fig. 9/10).
+func TestRegisterSkipsOpaquePinnedComponents(t *testing.T) {
+	sys, err := NewLocal(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule, err := ruleml.ParseString(`<eca:rule xmlns:eca="` + protocol.ECANS + `" xmlns:t="` + tNS + `" id="opaque-ok">
+	  <eca:event><t:ping x="$X"/></eca:event>
+	  <eca:query binds="Y">
+	    <eca:opaque language="http://example.org/rawlang" uri="http://example.org/raw">this is ( not an expression</eca:opaque>
+	  </eca:query>
+	  <eca:action><t:pong x="$X"/></eca:action>
+	</eca:rule>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Engine.Register(rule); err != nil {
+		t.Fatalf("pinned-service opaque component rejected at registration: %v", err)
+	}
+}
+
+// TestEngineErrBadExpression pins the sentinel so HTTP layers can map it.
+func TestEngineErrBadExpression(t *testing.T) {
+	sys, err := NewLocal(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule, err := ruleml.ParseString(badTestRuleXML("sentinel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	regErr := sys.Engine.Register(rule)
+	if !errors.Is(regErr, engine.ErrBadExpression) {
+		t.Fatalf("Register error %v does not match engine.ErrBadExpression", regErr)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/bindings"
 	"repro/internal/cluster"
+	"repro/internal/compilecache"
 	"repro/internal/datalog"
 	"repro/internal/engine"
 	"repro/internal/events"
@@ -182,6 +183,7 @@ func NewLocal(cfg Config) (*System, error) {
 	if cfg.Trace != nil {
 		s.GRH.SetTrace(cfg.Trace)
 	}
+	compilecache.Default.SetObs(cfg.Obs)
 	engineOpts := []engine.Option{engine.WithObs(cfg.Obs), engine.WithLog(cfg.Log)}
 	if cfg.Logger != nil {
 		engineOpts = append(engineOpts, engine.WithLogger(cfg.Logger))
@@ -355,7 +357,14 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 				}
 			}
 			if err := s.Engine.Register(rule); err != nil {
-				http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+				// A rule whose component expression does not compile is a
+				// malformed request (400); other failures (duplicate ids,
+				// unroutable components) stay 422.
+				status := http.StatusUnprocessableEntity
+				if errors.Is(err, engine.ErrBadExpression) {
+					status = http.StatusBadRequest
+				}
+				http.Error(w, err.Error(), status)
 				return
 			}
 			fmt.Fprintln(w, rule.ID)

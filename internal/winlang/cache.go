@@ -1,0 +1,28 @@
+package winlang
+
+import (
+	"repro/internal/compilecache"
+	"repro/internal/xmltree"
+)
+
+// Lang is the compile-cache language label for window expressions
+// (compile_seconds{language="winlang"}).
+const Lang = "winlang"
+
+// ParseCached is Parse memoized through the process-wide compile cache,
+// keyed by the expression's serialized markup. The returned *Expr is
+// shared between callers and read-only after parse.
+func ParseCached(n *xmltree.Node) (*Expr, error) {
+	src := n.String()
+	v, err := compilecache.Default.Get(Lang, src, func(string) (any, error) {
+		e, err := Parse(n)
+		if err != nil {
+			return nil, err
+		}
+		return e, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Expr), nil
+}

@@ -178,7 +178,7 @@ func (s *Service) Handle(req *protocol.Request) (*protocol.Answer, error) {
 	key := req.RuleID + "/" + req.Component
 	switch req.Kind {
 	case protocol.RegisterEvent:
-		expr, err := Parse(req.Expression)
+		expr, err := ParseCached(req.Expression)
 		if err != nil {
 			return nil, err
 		}

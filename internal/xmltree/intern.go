@@ -1,0 +1,20 @@
+package xmltree
+
+import "sync"
+
+// internedNames canonicalizes QNames seen while parsing. Documents flowing
+// through the engine repeat the same handful of element and attribute names
+// (eca:rule, log:variable, …) in every event and answer; sharing one Name
+// value per QName keeps parse from re-allocating the strings and makes the
+// many Name comparisons in path evaluation compare shared backings.
+// (This package cannot use bindings.Intern — bindings imports xmltree.)
+var internedNames sync.Map // Name → Name
+
+func internName(space, local string) Name {
+	n := Name{Space: space, Local: local}
+	if v, ok := internedNames.Load(n); ok {
+		return v.(Name)
+	}
+	v, _ := internedNames.LoadOrStore(n, n)
+	return v.(Name)
+}

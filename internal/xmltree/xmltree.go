@@ -379,9 +379,9 @@ func Parse(r io.Reader) (*Node, error) {
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
-			e := &Node{Kind: ElementNode, Name: Name{Space: t.Name.Space, Local: t.Name.Local}}
+			e := &Node{Kind: ElementNode, Name: internName(t.Name.Space, t.Name.Local)}
 			for _, a := range t.Attr {
-				e.Attrs = append(e.Attrs, Attr{Name: Name{Space: a.Name.Space, Local: a.Name.Local}, Value: a.Value})
+				e.Attrs = append(e.Attrs, Attr{Name: internName(a.Name.Space, a.Name.Local), Value: a.Value})
 			}
 			cur.Append(e)
 			cur = e

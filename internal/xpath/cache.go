@@ -1,0 +1,45 @@
+package xpath
+
+import (
+	"fmt"
+
+	"repro/internal/compilecache"
+)
+
+// Lang is the compile-cache language label for XPath expressions
+// (compile_seconds{language="xpath"}).
+const Lang = "xpath"
+
+// SyntaxError is the error Compile returns for malformed expressions. Pos
+// is a byte offset into Src; embedding compilers (internal/xq carves XPath
+// spans out of XQuery-lite source) translate it into their own coordinate
+// space instead of re-parsing the message.
+type SyntaxError struct {
+	Src string // the expression source handed to Compile
+	Pos int    // byte offset into Src where compilation failed
+	Msg string // what went wrong
+}
+
+// Error renders the historical message shape.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xpath: %q: position %d: %s", e.Src, e.Pos, e.Msg)
+}
+
+func compileAny(src string) (any, error) {
+	e, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// CompileCached is Compile memoized through the process-wide compile cache
+// (compilecache.Default): the first call for a source string parses it,
+// later calls from any goroutine share the same immutable *Expr.
+func CompileCached(src string) (*Expr, error) {
+	v, err := compilecache.Default.Get(Lang, src, compileAny)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Expr), nil
+}

@@ -70,7 +70,6 @@ type token struct {
 	pos  int
 }
 
-// lexer tokenizes an XPath expression.
 // lexer tokenizes an XPath expression. Disambiguation of '*' (multiply vs
 // wildcard) and of the operator names and/or/div/mod is grammar-directed:
 // the parser interprets them by syntactic position.
@@ -177,7 +176,7 @@ func (l *lexer) next() (token, error) {
 		l.pos++
 		name := l.ncName()
 		if name == "" {
-			return token{}, fmt.Errorf("xpath: position %d: '$' not followed by a name", start)
+			return token{}, &SyntaxError{Src: l.src, Pos: start, Msg: "'$' not followed by a name"}
 		}
 		return token{tokVariable, name, start}, nil
 	case '"', '\'':
@@ -185,7 +184,7 @@ func (l *lexer) next() (token, error) {
 		l.pos++
 		end := strings.IndexByte(l.src[l.pos:], quote)
 		if end < 0 {
-			return token{}, fmt.Errorf("xpath: position %d: unterminated string literal", start)
+			return token{}, &SyntaxError{Src: l.src, Pos: start, Msg: "unterminated string literal"}
 		}
 		s := l.src[l.pos : l.pos+end]
 		l.pos += end + 1
@@ -204,7 +203,7 @@ func (l *lexer) next() (token, error) {
 		name := l.ncName()
 		return token{tokName, name, start}, nil
 	}
-	return token{}, fmt.Errorf("xpath: position %d: unexpected character %q", start, string(c))
+	return token{}, &SyntaxError{Src: l.src, Pos: start, Msg: fmt.Sprintf("unexpected character %q", string(c))}
 }
 
 func (l *lexer) number(start int) (token, error) {

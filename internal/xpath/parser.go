@@ -68,7 +68,7 @@ func (p *parser) expect(k tokenKind) (token, error) {
 }
 
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("xpath: %q: position %d: %s", p.src, p.peek().pos, fmt.Sprintf(format, args...))
+	return &SyntaxError{Src: p.src, Pos: p.peek().pos, Msg: fmt.Sprintf(format, args...)}
 }
 
 // acceptOpName consumes a tokName with one of the given spellings when it

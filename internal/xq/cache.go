@@ -1,0 +1,26 @@
+package xq
+
+import "repro/internal/compilecache"
+
+// Lang is the compile-cache language label for XQuery-lite queries
+// (compile_seconds{language="xq"}).
+const Lang = "xq"
+
+func compileAny(src string) (any, error) {
+	q, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// CompileCached is Compile memoized through the process-wide compile cache:
+// the first call for a source string parses it, later calls from any
+// goroutine share the same immutable *Query.
+func CompileCached(src string) (*Query, error) {
+	v, err := compilecache.Default.Get(Lang, src, compileAny)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Query), nil
+}

@@ -1,6 +1,7 @@
 package xq
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"unicode"
@@ -641,6 +642,17 @@ scan:
 	}
 	compiled, err := xpath.Compile(span)
 	if err != nil {
+		// The inner compiler reports positions relative to the span; translate
+		// them into offsets in the original XQuery-lite source, accounting for
+		// the leading whitespace TrimSpace removed.
+		var se *xpath.SyntaxError
+		if errors.As(err, &se) {
+			lead := strings.Index(p.src[start:i], span)
+			if lead < 0 {
+				lead = 0
+			}
+			return nil, fmt.Errorf("xq: offset %d: in path expression: %w", start+lead+se.Pos, err)
+		}
 		return nil, fmt.Errorf("xq: in path expression: %w", err)
 	}
 	p.pos = i

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // TestClusterKillAndTakeover is the clustering smoke test: it boots three
@@ -208,6 +209,29 @@ func TestClusterKillAndTakeover(t *testing.T) {
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("rules never all fired pre-kill: %v", firings(ids...))
+		}
+	}
+
+	// With all three nodes up, the federated metrics view on any node
+	// must be lint-clean and carry every node's samples under its node
+	// label (the admitted-events counter exists on all of them by now).
+	status, fed := get(bases["n1"], "/cluster/metrics")
+	if status != 200 {
+		t.Fatalf("/cluster/metrics status = %d: %s", status, fed)
+	}
+	if err := obs.LintExposition(strings.NewReader(fed)); err != nil {
+		t.Fatalf("/cluster/metrics not lint-clean: %v\n%s", err, fed)
+	}
+	fedExp, err := obs.ParseExposition(strings.NewReader(fed))
+	if err != nil {
+		t.Fatalf("/cluster/metrics parse: %v", err)
+	}
+	if nodes := fedExp.LabelValues("node"); len(nodes) != 3 {
+		t.Fatalf("/cluster/metrics federates %v, want all of %v", nodes, ids)
+	}
+	for _, id := range ids {
+		if _, ok := fedExp.Value("events_admitted_total", map[string]string{"node": id}); !ok {
+			t.Fatalf("no events_admitted_total sample for node %s in federation:\n%s", id, fed)
 		}
 	}
 

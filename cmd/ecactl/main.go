@@ -8,6 +8,12 @@
 //	ecactl [-s http://127.0.0.1:8080] rules
 //	ecactl [-s http://127.0.0.1:8080] stats
 //	ecactl [-s http://127.0.0.1:8080] cluster status
+//	ecactl [-s http://127.0.0.1:8080] cluster top [-every 2s] [-n 0]
+//
+// cluster top renders a live per-node table from the daemon's federated
+// /cluster/metrics view: events/sec admitted, the p95 admit→action
+// latency over each sampling interval, and the admission/engine queue
+// depths. -n bounds the number of refreshes (0 = until interrupted).
 //
 // The default endpoint is taken from the ECA_ENDPOINT environment
 // variable when set; -s overrides it.
@@ -20,6 +26,7 @@ import (
 	"net/url"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/domain/travel"
 )
@@ -67,10 +74,24 @@ func main() {
 	case "rules":
 		err = get(*server + "/engine/rules?format=ids")
 	case "cluster":
-		if len(args) != 2 || args[1] != "status" {
+		if len(args) < 2 {
 			usage()
 		}
-		err = get(*server + "/cluster/status")
+		switch args[1] {
+		case "status":
+			if len(args) != 2 {
+				usage()
+			}
+			err = get(*server + "/cluster/status")
+		case "top":
+			fs := flag.NewFlagSet("cluster top", flag.ExitOnError)
+			every := fs.Duration("every", 2*time.Second, "sampling interval between /cluster/metrics scrapes")
+			n := fs.Int("n", 0, "number of table refreshes (0 = until interrupted)")
+			fs.Parse(args[2:])
+			err = clusterTop(os.Stdout, *server, *every, *n)
+		default:
+			usage()
+		}
 	default:
 		usage()
 	}
@@ -80,6 +101,6 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ecactl [-s URL] register <rule.xml> | unregister <rule-id> | event <file|-> | book <person> <from> <to> | rules | stats | cluster status`)
+	fmt.Fprintln(os.Stderr, `usage: ecactl [-s URL] register <rule.xml> | unregister <rule-id> | event <file|-> | book <person> <from> <to> | rules | stats | cluster status | cluster top [-every 2s] [-n 0]`)
 	os.Exit(2)
 }

@@ -1,0 +1,355 @@
+// Command ecaload drives an open-loop ingest load against a running ecad
+// daemon and reports the admit→action SLO from the daemon's own /metrics
+// exposition:
+//
+//	ecaload -s http://127.0.0.1:8080 -rate 200 -producers 4 -duration 10s \
+//	        -json BENCH_ingest.json
+//
+// N producers POST travel:booking events at a fixed schedule (interval =
+// producers/rate), independent of how fast the daemon answers — the
+// open-loop discipline that surfaces queueing delay instead of hiding it
+// behind client back-off. A producer that falls behind its schedule drops
+// the missed ticks rather than bursting to catch up. 429 responses are
+// honoured: the shed event is counted and the producer sleeps the
+// advertised Retry-After (bounded) before resuming its schedule.
+//
+// The daemon's /metrics is scraped before the run and again after the
+// engine settles; both expositions must pass obs.LintExposition. The
+// report is computed from the server-side deltas — events_admitted_total,
+// events_shed_total and the event_e2e_seconds histogram (admit→action,
+// completed instances only) — so it reflects what the daemon measured,
+// not client-side RTTs. When the endpoint serves /cluster/metrics (a
+// clustered deployment) that exposition is linted too.
+//
+// The default event is a booking by "John Doe" to Paris, which completes
+// the -travel car-rental rule end to end and therefore exercises every
+// lifecycle stage; point -person/-from/-to elsewhere to load a different
+// rule set.
+//
+// The exit status is non-zero when a lint fails, the daemon admitted
+// nothing, or no rule instance completed (zero e2e observations).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/domain/travel"
+	"repro/internal/obs"
+)
+
+// maxRetryAfter bounds how long a producer honours a 429's Retry-After
+// before resuming its schedule, so a misconfigured daemon cannot stall
+// the run.
+const maxRetryAfter = 2 * time.Second
+
+// Report is the BENCH_ingest.json document: the daemon-side view of one
+// ecaload run.
+type Report struct {
+	Endpoint        string   `json:"endpoint"`
+	TargetRate      float64  `json:"target_rate_per_second"`
+	Producers       int      `json:"producers"`
+	DurationSeconds float64  `json:"duration_seconds"`
+	Sent            int64    `json:"sent"`
+	Admitted        int64    `json:"admitted"`
+	Shed            int64    `json:"shed"`
+	ClientErrors    int64    `json:"client_errors"`
+	EventsPerSecond float64  `json:"events_per_second"`
+	ShedRate        float64  `json:"shed_rate"`
+	Latency         *Latency `json:"admit_to_action_latency_seconds"`
+	MetricsLint     bool     `json:"metrics_lint_clean"`
+	ClusterLint     *bool    `json:"cluster_metrics_lint_clean,omitempty"`
+}
+
+// Latency summarises the event_e2e_seconds delta accumulated during the
+// run: admission-timestamp to action-ack, as measured by the engine.
+type Latency struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+func main() {
+	var (
+		server    = flag.String("s", defaultEndpoint(os.Getenv), "ecad base URL (default honours $ECA_ENDPOINT)")
+		rate      = flag.Float64("rate", 100, "target events/second across all producers")
+		producers = flag.Int("producers", 4, "concurrent producer goroutines")
+		duration  = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		settle    = flag.Duration("settle", 5*time.Second, "how long to wait for in-flight instances to drain after the load stops")
+		jsonPath  = flag.String("json", "", "write the run report as JSON to this file (e.g. BENCH_ingest.json)")
+		person    = flag.String("person", "John Doe", "booking person attribute")
+		from      = flag.String("from", "Munich", "booking from attribute")
+		to        = flag.String("to", "Paris", "booking to attribute")
+	)
+	flag.Parse()
+	if *rate <= 0 || *producers <= 0 {
+		fmt.Fprintln(os.Stderr, "ecaload: -rate and -producers must be positive")
+		os.Exit(2)
+	}
+
+	rep, err := run(*server, *rate, *producers, *duration, *settle, *person, *from, *to)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecaload: %v\n", err)
+		os.Exit(1)
+	}
+	printSummary(os.Stdout, rep)
+	if *jsonPath != "" {
+		data, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ecaload: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if !healthy(rep) {
+		os.Exit(1)
+	}
+}
+
+// defaultEndpoint mirrors ecactl: $ECA_ENDPOINT when set, the local
+// default otherwise.
+func defaultEndpoint(getenv func(string) string) string {
+	if ep := strings.TrimSpace(getenv("ECA_ENDPOINT")); ep != "" {
+		return strings.TrimRight(ep, "/")
+	}
+	return "http://127.0.0.1:8080"
+}
+
+// healthy reports whether the run proved the pipeline end to end: both
+// expositions lint-clean, events actually admitted, instances actually
+// completed.
+func healthy(rep *Report) bool {
+	if !rep.MetricsLint || rep.Admitted == 0 || rep.Latency == nil || rep.Latency.Count == 0 {
+		return false
+	}
+	return rep.ClusterLint == nil || *rep.ClusterLint
+}
+
+func run(base string, rate float64, producers int, duration, settle time.Duration, person, from, to string) (*Report, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	before, lintBeforeErr, err := scrapeMetrics(client, base)
+	if err != nil {
+		return nil, fmt.Errorf("pre-run scrape: %w", err)
+	}
+
+	event := travel.Booking(person, from, to).String()
+	var sent, shed, clientErrs atomic.Int64
+	interval := time.Duration(float64(producers) / rate * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	start := time.Now()
+	deadline := start.Add(duration)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			// Producers start phase-shifted so the aggregate schedule is
+			// evenly spaced, not N simultaneous bursts.
+			next := start.Add(time.Duration(p) * interval / time.Duration(producers))
+			for {
+				now := time.Now()
+				if now.After(deadline) {
+					return
+				}
+				if wait := next.Sub(now); wait > 0 {
+					time.Sleep(wait)
+				} else if -wait > interval {
+					// Fell behind the open-loop schedule: drop the missed
+					// ticks instead of bursting.
+					next = now
+				}
+				next = next.Add(interval)
+				sent.Add(1)
+				resp, err := client.Post(base+"/events", "application/xml", strings.NewReader(event))
+				if err != nil {
+					clientErrs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					shed.Add(1)
+					time.Sleep(retryAfter(resp))
+				case resp.StatusCode < 200 || resp.StatusCode > 299:
+					clientErrs.Add(1)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, lintAfterErr, err := awaitSettle(client, base, before, settle)
+	if err != nil {
+		return nil, fmt.Errorf("post-run scrape: %w", err)
+	}
+
+	rep := &Report{
+		Endpoint:        base,
+		TargetRate:      rate,
+		Producers:       producers,
+		DurationSeconds: elapsed.Seconds(),
+		Sent:            sent.Load(),
+		Shed:            shed.Load(),
+		ClientErrors:    clientErrs.Load(),
+		MetricsLint:     lintBeforeErr == nil && lintAfterErr == nil,
+	}
+	if lintBeforeErr != nil {
+		fmt.Fprintf(os.Stderr, "ecaload: pre-run /metrics lint: %v\n", lintBeforeErr)
+	}
+	if lintAfterErr != nil {
+		fmt.Fprintf(os.Stderr, "ecaload: post-run /metrics lint: %v\n", lintAfterErr)
+	}
+	rep.Admitted = int64(after.Sum("events_admitted_total", nil) - before.Sum("events_admitted_total", nil))
+	serverShed := int64(after.Sum("events_shed_total", nil) - before.Sum("events_shed_total", nil))
+	if serverShed > rep.Shed {
+		// The daemon's count is authoritative (a 429 lost to a client
+		// timeout is still a shed event).
+		rep.Shed = serverShed
+	}
+	rep.EventsPerSecond = float64(rep.Admitted) / elapsed.Seconds()
+	if total := rep.Admitted + rep.Shed; total > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(total)
+	}
+	if d := after.HistogramDist("event_e2e_seconds", nil).Sub(before.HistogramDist("event_e2e_seconds", nil)); d.Count > 0 {
+		rep.Latency = &Latency{
+			Count: d.Count,
+			Mean:  d.Mean(),
+			P50:   d.Quantile(0.50),
+			P95:   d.Quantile(0.95),
+			P99:   d.Quantile(0.99),
+		}
+	}
+	rep.ClusterLint = lintClusterMetrics(client, base)
+	return rep, nil
+}
+
+// retryAfter reads a 429's Retry-After seconds, bounded so the schedule
+// resumes promptly even if the daemon advertises a long back-off.
+func retryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After")))
+	if err != nil || secs < 1 {
+		secs = 1
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
+}
+
+// scrapeMetrics fetches and parses /metrics; the lint verdict is
+// returned separately so a lint violation is reported without aborting
+// the run.
+func scrapeMetrics(client *http.Client, base string) (*obs.Exposition, error, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	lintErr := obs.LintExposition(bytes.NewReader(body))
+	exp, err := obs.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		return nil, lintErr, err
+	}
+	return exp, lintErr, nil
+}
+
+// awaitSettle polls /metrics until the e2e completion count stops
+// growing and the admission/worker queues are empty (or the budget runs
+// out), so the final scrape covers instances still in flight when the
+// load stopped.
+func awaitSettle(client *http.Client, base string, before *obs.Exposition, budget time.Duration) (*obs.Exposition, error, error) {
+	deadline := time.Now().Add(budget)
+	var lastCount int64 = -1
+	for {
+		exp, lintErr, err := scrapeMetrics(client, base)
+		if err != nil {
+			return nil, lintErr, err
+		}
+		count := exp.HistogramDist("event_e2e_seconds", nil).Count
+		pending, _ := exp.Value("events_pending", nil)
+		queued, _ := exp.Value("engine_queue_depth", nil)
+		if (count == lastCount && pending == 0 && queued == 0) || time.Now().After(deadline) {
+			return exp, lintErr, nil
+		}
+		lastCount = count
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// lintClusterMetrics probes /cluster/metrics: nil when the endpoint is
+// not clustered (404), otherwise whether the federated exposition is
+// lint-clean.
+func lintClusterMetrics(client *http.Client, base string) *bool {
+	resp, err := client.Get(base + "/cluster/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	ok := false
+	if resp.StatusCode == http.StatusOK {
+		if body, err := io.ReadAll(resp.Body); err == nil {
+			if lintErr := obs.LintExposition(bytes.NewReader(body)); lintErr == nil {
+				ok = true
+			} else {
+				fmt.Fprintf(os.Stderr, "ecaload: /cluster/metrics lint: %v\n", lintErr)
+			}
+		}
+	}
+	return &ok
+}
+
+func printSummary(w io.Writer, rep *Report) {
+	fmt.Fprintf(w, "ecaload %s: %d sent, %d admitted (%.1f events/sec), %d shed (%.1f%%), %d client errors\n",
+		rep.Endpoint, rep.Sent, rep.Admitted, rep.EventsPerSecond, rep.Shed, rep.ShedRate*100, rep.ClientErrors)
+	if rep.Latency != nil {
+		fmt.Fprintf(w, "admit→action latency: %d completions, mean %s, p50 %s, p95 %s, p99 %s\n",
+			rep.Latency.Count, fmtSec(rep.Latency.Mean), fmtSec(rep.Latency.P50),
+			fmtSec(rep.Latency.P95), fmtSec(rep.Latency.P99))
+	} else {
+		fmt.Fprintln(w, "admit→action latency: no completed instances observed")
+	}
+	lint := "clean"
+	if !rep.MetricsLint {
+		lint = "VIOLATIONS"
+	}
+	fmt.Fprintf(w, "/metrics lint: %s", lint)
+	if rep.ClusterLint != nil {
+		lint = "clean"
+		if !*rep.ClusterLint {
+			lint = "VIOLATIONS"
+		}
+		fmt.Fprintf(w, ", /cluster/metrics lint: %s", lint)
+	}
+	fmt.Fprintln(w)
+}
+
+func fmtSec(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
+}

@@ -118,21 +118,23 @@ type peerState struct {
 }
 
 type metrics struct {
-	forwarded   *obs.CounterVec // cluster_forwarded_events_total{peer}
-	forwardErrs *obs.CounterVec // cluster_forward_errors_total{peer,reason}
-	replicated  *obs.Counter    // cluster_replicated_records_total
-	peerUp      *obs.GaugeVec   // cluster_peer_up{peer}
-	takeovers   *obs.Counter    // cluster_takeovers_total
+	forwarded      *obs.CounterVec // cluster_forwarded_events_total{peer}
+	forwardErrs    *obs.CounterVec // cluster_forward_errors_total{peer,reason}
+	replicated     *obs.Counter    // cluster_replicated_records_total
+	peerUp         *obs.GaugeVec   // cluster_peer_up{peer}
+	takeovers      *obs.Counter    // cluster_takeovers_total
+	federationErrs *obs.CounterVec // cluster_federation_errors_total{peer}
 }
 
 func newMetrics(h *obs.Hub) metrics {
 	r := h.Metrics()
 	return metrics{
-		forwarded:   r.CounterVec("cluster_forwarded_events_total", "Events forwarded to a peer replica, by peer id.", "peer"),
-		forwardErrs: r.CounterVec("cluster_forward_errors_total", "Forwarding failures, by peer id and reason (shed = peer answered 429, error = hard failure).", "peer", "reason"),
-		replicated:  r.Counter("cluster_replicated_records_total", "Journal records acknowledged by this node's replication follower."),
-		peerUp:      r.GaugeVec("cluster_peer_up", "Probed peer liveness (1 = up, 0 = down), by peer id.", "peer"),
-		takeovers:   r.Counter("cluster_takeovers_total", "Partitions taken over from peers declared dead."),
+		forwarded:      r.CounterVec("cluster_forwarded_events_total", "Events forwarded to a peer replica, by peer id.", "peer"),
+		forwardErrs:    r.CounterVec("cluster_forward_errors_total", "Forwarding failures, by peer id and reason (shed = peer answered 429, error = hard failure).", "peer", "reason"),
+		replicated:     r.Counter("cluster_replicated_records_total", "Journal records acknowledged by this node's replication follower."),
+		peerUp:         r.GaugeVec("cluster_peer_up", "Probed peer liveness (1 = up, 0 = down), by peer id.", "peer"),
+		takeovers:      r.Counter("cluster_takeovers_total", "Partitions taken over from peers declared dead."),
+		federationErrs: r.CounterVec("cluster_federation_errors_total", "Peer /metrics scrapes that failed during /cluster/metrics federation, by peer id.", "peer"),
 	}
 }
 

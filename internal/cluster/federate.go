@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// peerMetricsLimit bounds how much of a peer's /metrics body the
+// federation handler will read — a peer cannot balloon the merged
+// response past its share.
+const peerMetricsLimit = 4 << 20
+
+// MetricsHandler serves GET /cluster/metrics: the fleet-wide metrics
+// view. This node's own registry and the /metrics exposition of every
+// peer currently probed up are parsed, stamped with a node label and
+// merged into a single lint-clean exposition — naive concatenation
+// would repeat TYPE comments per family, which the format forbids.
+// Peers that fail to scrape are skipped (and counted in
+// cluster_federation_errors_total) rather than failing the whole view;
+// a down node's samples simply disappear from the federation, which is
+// itself the signal dashboards key off. One scrape fans out one GET per
+// live peer, so federation cost scales with cluster size, not rule
+// count.
+func (n *Node) MetricsHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET the federated cluster metrics", http.StatusMethodNotAllowed)
+		return
+	}
+	parts := make([]*obs.Exposition, 0, 1+len(n.peers))
+	var buf bytes.Buffer
+	n.hub.Metrics().WritePrometheus(&buf)
+	self, err := obs.ParseExposition(&buf)
+	if err != nil {
+		// Our own registry failing to parse is a bug, not an operational
+		// condition; surface it instead of serving a partial fleet view.
+		http.Error(w, "local exposition: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	self.AddLabel("node", n.id)
+	parts = append(parts, self)
+	for _, ps := range n.peersSnapshot() {
+		if !ps.up {
+			continue
+		}
+		exp, err := n.scrapePeer(ps.url)
+		if err != nil {
+			n.met.federationErrs.With(ps.id).Inc()
+			n.log.Warn("cluster: peer metrics scrape failed", "peer", ps.id, "error", err.Error())
+			continue
+		}
+		exp.AddLabel("node", ps.id)
+		parts = append(parts, exp)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.MergeExpositions(parts...).WritePrometheus(w)
+}
+
+// scrapePeer fetches and parses one peer's /metrics.
+func (n *Node) scrapePeer(baseURL string) (*obs.Exposition, error) {
+	resp, err := n.client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return obs.ParseExposition(io.LimitReader(resp.Body, peerMetricsLimit))
+}
+
+// peersSnapshot copies the peer table under the lock so federation can
+// iterate it without holding up probing.
+func (n *Node) peersSnapshot() []peerState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]peerState, 0, len(n.peers))
+	for _, ps := range n.peers {
+		out = append(out, peerState{id: ps.id, url: ps.url, up: ps.up})
+	}
+	return out
+}

@@ -99,7 +99,24 @@ type instanceJob struct {
 	rs  *RuleState
 	rel *bindings.Relation
 	tr  *obs.Instance
+	lc  lifecycle
 	enq time.Time // when the job entered the queue, for the wait histogram
+}
+
+// lifecycle carries the admission-side timestamps of the event behind a
+// rule instance, threaded from POST /events through detection to the
+// action ack so the stage histograms cover the whole pipeline. All
+// fields are zero for instances not born from an admitted event
+// (recovery replay, act:raise republication, periodic SNOOP
+// occurrences), which are excluded from lifecycle accounting.
+type lifecycle struct {
+	admitted  time.Time // admission layer accepted the event
+	published time.Time // event stream published it
+	detected  time.Time // detection answer reached the engine
+}
+
+func (lc lifecycle) observable() bool {
+	return !lc.admitted.IsZero() && !lc.published.IsZero() && !lc.detected.IsZero()
 }
 
 // metrics are the engine's observability instruments; all nil-safe, so an
@@ -113,6 +130,8 @@ type metrics struct {
 	stepSec     *obs.HistogramVec // engine_step_seconds{kind}
 	queueDepth  *obs.Gauge        // engine_queue_depth
 	queueWait   *obs.Histogram    // engine_queue_wait_seconds
+	lifecycle   *obs.HistogramVec // event_lifecycle_seconds{stage}
+	e2e         *obs.HistogramVec // event_e2e_seconds{rule}
 }
 
 func newMetrics(h *obs.Hub) metrics {
@@ -126,6 +145,8 @@ func newMetrics(h *obs.Hub) metrics {
 		stepSec:     r.HistogramVec("engine_step_seconds", "Per-component evaluation latency by component kind.", nil, "kind"),
 		queueDepth:  r.Gauge("engine_queue_depth", "Rule instances waiting in the worker-pool queue."),
 		queueWait:   r.Histogram("engine_queue_wait_seconds", "Time rule instances spend queued before a worker picks them up.", nil),
+		lifecycle:   r.HistogramVec("event_lifecycle_seconds", "Admitted-event latency by lifecycle stage: admit (admission to stream publish), detect (publish to engine receipt), dispatch (receipt through the query/test steps, queue wait included), action (action dispatch to ack). Completed instances only; the stages are contiguous, so their sums reconcile with event_e2e_seconds.", nil, "stage"),
+		e2e:         r.HistogramVec("event_e2e_seconds", "End-to-end admitted-event latency (admission to action ack) by rule. Completed instances only.", nil, "rule"),
 	}
 }
 
@@ -199,7 +220,7 @@ func WithWorkers(n int) Option {
 				for j := range e.jobs {
 					e.met.queueDepth.Set(float64(len(e.jobs)))
 					e.met.queueWait.Observe(obs.Since(j.enq))
-					e.runInstance(j.rs, j.rel, j.tr)
+					e.runInstance(j.rs, j.rel, j.tr, j.lc)
 					e.inFlight.Done()
 				}
 			}()
@@ -220,6 +241,16 @@ func New(g *grh.GRH, opts ...Option) *Engine {
 
 // Wait blocks until every instance accepted so far has finished evaluating.
 func (e *Engine) Wait() { e.inFlight.Wait() }
+
+// QueueDepth returns the number of rule instances waiting in the
+// worker-pool queue (always 0 for synchronous engines). The health
+// endpoint reports it alongside admission pressure.
+func (e *Engine) QueueDepth() int {
+	if e == nil || e.jobs == nil {
+		return 0
+	}
+	return len(e.jobs)
+}
 
 // Close shuts the engine down gracefully: detections arriving after
 // Close are dropped, every in-flight rule instance (synchronous or on
@@ -429,6 +460,7 @@ func (e *Engine) OnDetection(a *protocol.Answer) {
 		e.logf("detection for unknown rule %q dropped", a.RuleID)
 		return
 	}
+	lc := lifecycle{admitted: a.AdmittedAt, published: a.PublishedAt, detected: time.Now()}
 	for _, row := range a.Rows {
 		tuples := []bindings.Tuple{row.Tuple}
 		if rs.Rule.Event.Variable != "" && len(row.Results) > 0 {
@@ -469,18 +501,18 @@ func (e *Engine) OnDetection(a *protocol.Answer) {
 			e.met.stepSec.With(string(ruleml.EventComponent)).Observe(obs.Since(evStart))
 			rel := bindings.NewRelation(tuple)
 			if e.jobs != nil {
-				e.jobs <- instanceJob{rs, rel, tr, time.Now()}
+				e.jobs <- instanceJob{rs, rel, tr, lc, time.Now()}
 				e.met.queueDepth.Set(float64(len(e.jobs)))
 				continue
 			}
-			e.runInstance(rs, rel, tr)
+			e.runInstance(rs, rel, tr, lc)
 			e.inFlight.Done()
 		}
 	}
 }
 
 // runInstance drives one rule instance through its steps and actions.
-func (e *Engine) runInstance(rs *RuleState, rel *bindings.Relation, tr *obs.Instance) {
+func (e *Engine) runInstance(rs *RuleState, rel *bindings.Relation, tr *obs.Instance, lc lifecycle) {
 	rule := rs.Rule
 	start := time.Now()
 	il := e.slog.With(obs.FieldTraceID, tr.ID(), obs.FieldRule, rule.ID)
@@ -519,6 +551,7 @@ func (e *Engine) runInstance(rs *RuleState, rel *bindings.Relation, tr *obs.Inst
 			return
 		}
 	}
+	stepsDone := time.Now()
 	for _, action := range rule.Actions {
 		sp := obs.Span{
 			Stage:     string(ruleml.ActionComponent),
@@ -554,14 +587,61 @@ func (e *Engine) runInstance(rs *RuleState, rel *bindings.Relation, tr *obs.Inst
 		e.logf("rule %s: action %s executed for %d tuple(s)", rule.ID, action.ID, rel.Size())
 		il.Debug("action executed", obs.FieldComponent, action.ID, "tuples", rel.Size())
 	}
+	ack := time.Now()
 	e.mu.Lock()
 	rs.Firings++
 	e.stats.InstancesCompleted++
 	e.mu.Unlock()
 	e.met.instances.With("completed").Inc()
-	e.met.instanceSec.Observe(time.Since(start).Seconds())
+	e.met.instanceSec.Observe(ack.Sub(start).Seconds())
+	e.observeLifecycle(rule.ID, tr, lc, stepsDone, ack)
 	tr.Finish("completed")
-	il.Info("rule instance completed", "seconds", time.Since(start).Seconds())
+	il.Info("rule instance completed", "seconds", ack.Sub(start).Seconds())
+}
+
+// observeLifecycle records the admit→action stage histograms of a
+// completed instance and attaches a lifecycle span (one child per
+// stage) to its trace, making the trace id the exemplar that explains
+// the histogram's tail. The four stages are contiguous — admit
+// (admission→publish), detect (publish→engine receipt), dispatch
+// (receipt→last step, worker-queue wait included) and action
+// (steps→ack) — so their sums reconcile with event_e2e_seconds.
+// Negative spans can only arise from wall-clock skew on cross-node
+// detections and are clamped to zero.
+func (e *Engine) observeLifecycle(ruleID string, tr *obs.Instance, lc lifecycle, stepsDone, ack time.Time) {
+	if !lc.observable() {
+		return
+	}
+	stages := [...]struct {
+		name       string
+		start, end time.Time
+	}{
+		{"admit", lc.admitted, lc.published},
+		{"detect", lc.published, lc.detected},
+		{"dispatch", lc.detected, stepsDone},
+		{"action", stepsDone, ack},
+	}
+	id := tr.ID()
+	span := obs.Span{
+		Stage:    "lifecycle",
+		Mode:     "engine",
+		Start:    lc.admitted,
+		Duration: maxDuration(0, ack.Sub(lc.admitted)),
+	}
+	for _, s := range stages {
+		d := maxDuration(0, s.end.Sub(s.start))
+		e.met.lifecycle.With(s.name).ObserveExemplar(d.Seconds(), id)
+		span.Children = append(span.Children, obs.Span{Stage: s.name, Mode: "engine", Start: s.start, Duration: d})
+	}
+	e.met.e2e.With(ruleID).ObserveExemplar(span.Duration.Seconds(), id)
+	tr.AddSpan(span)
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // serverSpans converts the service-side trace piggybacked on an answer

@@ -18,17 +18,31 @@ import (
 
 // Event is one event occurrence: the marked-up event payload plus its
 // position in the stream (Seq, strictly increasing per stream) and the wall
-// time it was observed.
+// time it was observed. AdmittedAt, when non-zero, is the monotonic
+// admission timestamp stamped at the edge (POST /events accepting the
+// request); it anchors the admit→action lifecycle histograms.
+// Programmatic publishes (recovery replay, act:raise, tests) leave it
+// zero and are excluded from lifecycle latency accounting.
 type Event struct {
-	Payload *xmltree.Node
-	Seq     uint64
-	Time    time.Time
+	Payload    *xmltree.Node
+	Seq        uint64
+	Time       time.Time
+	AdmittedAt time.Time
 }
 
 // New wraps an XML payload as an event occurrence with the current time;
 // Seq is assigned by the Stream on publication.
 func New(payload *xmltree.Node) Event {
 	return Event{Payload: payload.Root(), Time: time.Now()}
+}
+
+// NewAdmitted wraps an XML payload as an event occurrence admitted from
+// the outside world at admittedAt (the instant the admission layer
+// accepted it, before parsing or journaling). Time is stamped by
+// Stream.Publish so that admit-stage latency (publish − admission)
+// covers the parse/journal work in between.
+func NewAdmitted(payload *xmltree.Node, admittedAt time.Time) Event {
+	return Event{Payload: payload.Root(), AdmittedAt: admittedAt}
 }
 
 // String renders the event for traces.

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// scrapeRegistry builds a small registry and returns its exposition text.
+func scrapeRegistry(t *testing.T) string {
+	t.Helper()
+	r := NewRegistry()
+	r.Counter("jobs_total", "Jobs processed.").Add(7)
+	r.CounterVec("errs_total", "Errors.", "kind").With(`we"ird\`).Add(2)
+	r.Gauge("queue_depth", "Depth.").Set(3.5)
+	h := r.HistogramVec("lat_seconds", "Latency.", []float64{0.1, 1}, "stage")
+	h.With("admit").Observe(0.05)
+	h.With("admit").Observe(0.5)
+	h.With("act").Observe(5) // overflow bucket
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+func TestParseExpositionRoundTrip(t *testing.T) {
+	text := scrapeRegistry(t)
+	e, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if v, ok := e.Value("jobs_total", nil); !ok || v != 7 {
+		t.Fatalf("jobs_total = %v,%v want 7,true", v, ok)
+	}
+	if v, ok := e.Value("errs_total", map[string]string{"kind": `we"ird\`}); !ok || v != 2 {
+		t.Fatalf("escaped label lookup = %v,%v", v, ok)
+	}
+	if v, ok := e.Value("queue_depth", nil); !ok || v != 3.5 {
+		t.Fatalf("queue_depth = %v,%v", v, ok)
+	}
+	f := e.Family("lat_seconds")
+	if f == nil || f.Type != "histogram" {
+		t.Fatalf("lat_seconds family missing or untyped: %+v", f)
+	}
+	// Round-trip must stay lint-clean and preserve values.
+	var out bytes.Buffer
+	e.WritePrometheus(&out)
+	if err := LintExposition(bytes.NewReader(out.Bytes())); err != nil {
+		t.Fatalf("round-tripped exposition not lint-clean: %v", err)
+	}
+	e2, err := ParseExposition(&out)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if v, ok := e2.Value("errs_total", map[string]string{"kind": `we"ird\`}); !ok || v != 2 {
+		t.Fatalf("escaped label did not survive round trip: %v,%v", v, ok)
+	}
+}
+
+func TestParseExpositionRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"1bad_name 3\n",
+		"m{le=\"0.1} 3\n",
+		"m not-a-number\n",
+		"# TYPE m histogram\n# TYPE m histogram\nm_count 1\n",
+		"m{x=\"a\",x=\"b\"} 1\n",
+	} {
+		if _, err := ParseExposition(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseExposition accepted %q", bad)
+		}
+	}
+}
+
+func TestAddLabelAndMergeLintClean(t *testing.T) {
+	a, err := ParseExposition(strings.NewReader(scrapeRegistry(t)))
+	if err != nil {
+		t.Fatalf("parse a: %v", err)
+	}
+	b, err := ParseExposition(strings.NewReader(scrapeRegistry(t)))
+	if err != nil {
+		t.Fatalf("parse b: %v", err)
+	}
+	a.AddLabel("node", "n1")
+	b.AddLabel("node", "n2")
+	merged := MergeExpositions(a, b)
+	var out bytes.Buffer
+	merged.WritePrometheus(&out)
+	if err := LintExposition(bytes.NewReader(out.Bytes())); err != nil {
+		t.Fatalf("merged exposition not lint-clean:\n%s\nerr: %v", out.String(), err)
+	}
+	nodes := merged.LabelValues("node")
+	if len(nodes) != 2 || nodes[0] != "n1" || nodes[1] != "n2" {
+		t.Fatalf("LabelValues(node) = %v", nodes)
+	}
+	if got := merged.Sum("jobs_total", nil); got != 14 {
+		t.Fatalf("merged jobs_total sum = %v want 14", got)
+	}
+	if v, ok := merged.Value("jobs_total", map[string]string{"node": "n2"}); !ok || v != 7 {
+		t.Fatalf("per-node value = %v,%v", v, ok)
+	}
+	// AddLabel must replace, not duplicate, an existing label.
+	a.AddLabel("node", "n9")
+	if v, ok := a.Value("jobs_total", map[string]string{"node": "n9"}); !ok || v != 7 {
+		t.Fatalf("relabel: %v,%v", v, ok)
+	}
+	var relint bytes.Buffer
+	a.WritePrometheus(&relint)
+	if err := LintExposition(&relint); err != nil {
+		t.Fatalf("relabelled exposition not lint-clean: %v", err)
+	}
+}
+
+func TestHistogramDistQuantileAndSub(t *testing.T) {
+	e, err := ParseExposition(strings.NewReader(scrapeRegistry(t)))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	all := e.HistogramDist("lat_seconds", nil)
+	if all.Count != 3 {
+		t.Fatalf("count = %d want 3", all.Count)
+	}
+	if math.Abs(all.Sum-5.55) > 1e-9 {
+		t.Fatalf("sum = %v want 5.55", all.Sum)
+	}
+	// Overflow observations clamp to the top finite bound.
+	if p99 := all.Quantile(0.99); p99 != 1 {
+		t.Fatalf("p99 = %v want clamp to 1", p99)
+	}
+	admit := e.HistogramDist("lat_seconds", map[string]string{"stage": "admit"})
+	if admit.Count != 2 {
+		t.Fatalf("admit count = %d want 2", admit.Count)
+	}
+	// Delta vs a baseline: same layout, counts subtract, never negative.
+	delta := all.Sub(admit)
+	if delta.Count != 1 || math.Abs(delta.Sum-5) > 1e-9 {
+		t.Fatalf("delta = count %d sum %v", delta.Count, delta.Sum)
+	}
+	// Mismatched layouts leave the receiver untouched.
+	other := &BucketDist{Bounds: []float64{9}, Cum: []int64{1}, Count: 1}
+	if got := all.Sub(other); got.Count != all.Count {
+		t.Fatalf("mismatched Sub changed the receiver: %+v", got)
+	}
+	empty := (&Exposition{}).HistogramDist("nope", nil)
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatalf("empty dist should yield zeros")
+	}
+}

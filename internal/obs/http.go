@@ -40,7 +40,9 @@ func (h *Hub) TracesHandler() http.Handler {
 		if id := q.Get("id"); id != "" {
 			t, ok := h.Traces().Lookup(id)
 			if !ok {
-				http.Error(w, "no retained trace with id "+id, http.StatusNotFound)
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusNotFound)
+				json.NewEncoder(w).Encode(map[string]string{"error": "trace not found"})
 				return
 			}
 			writeJSON(w, t, pretty)

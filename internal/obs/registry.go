@@ -215,6 +215,17 @@ type Histogram struct {
 	counts      []atomic.Int64 // len(bounds)+1; the last is the +Inf bucket
 	count       atomic.Int64
 	sumBits     atomic.Uint64
+	exemplar    atomic.Pointer[Exemplar]
+}
+
+// Exemplar correlates a single recent observation with the trace that
+// produced it, so a latency histogram can point at a concrete
+// /debug/traces entry explaining its tail. Exemplars are kept out of the
+// text exposition (format 0.0.4 has no syntax for them) and surfaced via
+// the accessor instead.
+type Exemplar struct {
+	Value   float64
+	TraceID string
 }
 
 func (h *Histogram) setLabels(v []string) { h.labelValues = v }
@@ -233,6 +244,30 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and remembers traceID as the
+// histogram's most recent exemplar (no exemplar is stored when traceID
+// is empty).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID != "" {
+		h.exemplar.Store(&Exemplar{Value: v, TraceID: traceID})
+	}
+}
+
+// Exemplar returns the most recently stored exemplar, if any.
+func (h *Histogram) Exemplar() (Exemplar, bool) {
+	if h == nil {
+		return Exemplar{}, false
+	}
+	if e := h.exemplar.Load(); e != nil {
+		return *e, true
+	}
+	return Exemplar{}, false
 }
 
 // Count returns the total number of observations.

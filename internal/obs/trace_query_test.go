@@ -41,6 +41,17 @@ func TestTracesHandlerIDLookup(t *testing.T) {
 	if rec.Code != 404 {
 		t.Errorf("unknown id: status = %d, want 404", rec.Code)
 	}
+	// Regression: the 404 body is machine-readable JSON, not plain text.
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("unknown id: Content-Type = %q, want application/json", ct)
+	}
+	var errBody map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &errBody); err != nil {
+		t.Fatalf("unknown id: body not JSON: %v\n%s", err, rec.Body)
+	}
+	if errBody["error"] != "trace not found" {
+		t.Errorf("unknown id: body = %v, want {\"error\":\"trace not found\"}", errBody)
+	}
 }
 
 func TestTracesHandlerLimitAndPretty(t *testing.T) {

@@ -123,6 +123,16 @@ type Answer struct {
 	// Trace holds the server-side spans of the optional <log:trace>
 	// answer-markup extension, in phase order.
 	Trace []TraceSpan
+
+	// AdmittedAt / PublishedAt carry the lifecycle timestamps of the
+	// event occurrence behind a detection answer (zero for answers not
+	// born from an admitted event, e.g. query/test replies). They ride
+	// as optional attributes on <log:answers> so remote detection posts
+	// keep the admit→action clock running across nodes; the monotonic
+	// component is lost on the wire, which is acceptable at the
+	// millisecond latencies the lifecycle histograms measure.
+	AdmittedAt  time.Time
+	PublishedAt time.Time
 }
 
 // NewAnswer builds an answer whose rows are the tuples of rel (results
@@ -275,6 +285,12 @@ func EncodeAnswers(a *Answer) *xmltree.Node {
 	if a.Component != "" {
 		root.SetAttr("", "component", a.Component)
 	}
+	if !a.AdmittedAt.IsZero() {
+		root.SetAttr("", "admitted", a.AdmittedAt.UTC().Format(time.RFC3339Nano))
+	}
+	if !a.PublishedAt.IsZero() {
+		root.SetAttr("", "published", a.PublishedAt.UTC().Format(time.RFC3339Nano))
+	}
 	if len(a.Trace) > 0 {
 		root.Append(EncodeTraceElement(a.TraceID, a.TraceParent, a.Trace))
 	}
@@ -370,6 +386,19 @@ func DecodeAnswers(n *xmltree.Node) (*Answer, error) {
 	a := &Answer{
 		RuleID:    n.AttrValue("", "rule"),
 		Component: n.AttrValue("", "component"),
+	}
+	// Lifecycle timestamps are optional and lenient: a malformed value
+	// degrades to zero (no lifecycle accounting) rather than failing the
+	// answer.
+	if v := n.AttrValue("", "admitted"); v != "" {
+		if t, err := time.Parse(time.RFC3339Nano, v); err == nil {
+			a.AdmittedAt = t
+		}
+	}
+	if v := n.AttrValue("", "published"); v != "" {
+		if t, err := time.Parse(time.RFC3339Nano, v); err == nil {
+			a.PublishedAt = t
+		}
 	}
 	if tr := n.FirstChildElement(LogNS, "trace"); tr != nil {
 		decodeTrace(a, tr)

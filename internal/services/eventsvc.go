@@ -58,7 +58,12 @@ func (m *EventMatcher) Handle(req *protocol.Request) (*protocol.Answer, error) {
 		}
 		ruleID, component, replyTo := req.RuleID, req.Component, req.ReplyTo
 		m.matcher.Register(key, p, func(d events.Detection) {
-			a := &protocol.Answer{RuleID: ruleID, Component: component}
+			a := &protocol.Answer{
+				RuleID:      ruleID,
+				Component:   component,
+				AdmittedAt:  d.Event.AdmittedAt,
+				PublishedAt: d.Event.Time,
+			}
 			for _, t := range d.Bindings {
 				a.Rows = append(a.Rows, protocol.AnswerRow{
 					Tuple:   t,
@@ -189,6 +194,15 @@ func (s *SnoopService) Handle(req *protocol.Request) (*protocol.Answer, error) {
 			row := protocol.AnswerRow{Tuple: o.Bindings}
 			for _, c := range o.Constituents {
 				row.Results = append(row.Results, bindings.Fragment(c.Payload.Clone()))
+				// A composite occurrence completes with its terminator, so
+				// the lifecycle clock starts at the newest admission among
+				// the constituent events.
+				if c.AdmittedAt.After(a.AdmittedAt) {
+					a.AdmittedAt = c.AdmittedAt
+				}
+				if c.Time.After(a.PublishedAt) {
+					a.PublishedAt = c.Time
+				}
 			}
 			a.Rows = append(a.Rows, row)
 			_ = s.deliver.Deliver(a, replyTo)

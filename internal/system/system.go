@@ -153,6 +153,11 @@ type System struct {
 
 	pprof      bool
 	eventSlots chan struct{} // admission semaphore for POST /events; nil = unlimited
+	maxPending int           // cap of eventSlots; 0 = unlimited
+
+	metAdmitted *obs.Counter // events_admitted_total
+	metShed     *obs.Counter // events_shed_total
+	metPending  *obs.Gauge   // events_pending
 
 	Matcher *services.EventMatcher
 	Snoop   *services.SnoopService
@@ -229,7 +234,12 @@ func NewLocal(cfg Config) (*System, error) {
 	s.GRH.SetDefault(ruleml.ActionComponent, services.ActionNS)
 	if cfg.MaxPendingEvents > 0 {
 		s.eventSlots = make(chan struct{}, cfg.MaxPendingEvents)
+		s.maxPending = cfg.MaxPendingEvents
 	}
+	reg := cfg.Obs.Metrics()
+	s.metAdmitted = reg.Counter("events_admitted_total", "Events accepted by POST /events and published on the local stream.")
+	s.metShed = reg.Counter("events_shed_total", "POST /events requests shed with 429 by the admission limit.")
+	s.metPending = reg.Gauge("events_pending", "POST /events requests currently holding an admission slot.")
 	if cfg.Cluster != nil {
 		node, err := cluster.New(*cfg.Cluster, cluster.Hooks{
 			LocalRules:        s.Engine.RegisteredRules,
@@ -276,8 +286,12 @@ func (s *System) StartCluster() {
 //	                          429 + Retry-After + Overload body past the admission limit
 //	GET  /cluster/status      this node's cluster view as JSON (when clustered)
 //	POST /cluster/journal     journal replication ingest from a peer (when clustered)
+//	GET  /cluster/metrics     fleet-wide metric federation: every live node's
+//	                          /metrics merged under a node label (when clustered)
 //	GET  /engine/stats        plain-text counters
-//	GET  /healthz             liveness + rule/service counts as JSON (incl. store section)
+//	GET  /healthz             liveness + readiness + rule/service counts as JSON
+//	                          (ready degrades as admission pressure nears
+//	                          -max-pending-events; incl. store/cluster sections)
 //	GET  /metrics             Prometheus text exposition (when Obs is set)
 //	GET  /debug/traces        rule-instance span traces as JSON (when Obs is set)
 //	GET  /debug/pprof/        runtime profiling (when Config.PProf is set)
@@ -406,11 +420,20 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 			http.Error(w, "POST an event document", http.StatusMethodNotAllowed)
 			return
 		}
+		// The admission timestamp anchors the admit→action lifecycle
+		// histograms; it is taken before parsing and journaling so the
+		// admit stage covers both.
+		admittedAt := time.Now()
 		if s.eventSlots != nil {
 			select {
 			case s.eventSlots <- struct{}{}:
-				defer func() { <-s.eventSlots }()
+				s.metPending.Set(float64(len(s.eventSlots)))
+				defer func() {
+					<-s.eventSlots
+					s.metPending.Set(float64(len(s.eventSlots)))
+				}()
 			default:
+				s.metShed.Inc()
 				writeOverloaded(w)
 				return
 			}
@@ -441,8 +464,9 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 			http.Error(w, "event not journaled: "+err.Error(), http.StatusInternalServerError)
 			return
 		}
-		ev := s.Stream.Publish(events.New(doc))
+		ev := s.Stream.Publish(events.NewAdmitted(doc, admittedAt))
 		s.Durable.AckEvent(journalID)
+		s.metAdmitted.Inc()
 		fmt.Fprintf(w, "%d\n", ev.Seq)
 	})
 	mux.HandleFunc("/engine/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -454,6 +478,7 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 	if s.Cluster != nil {
 		mux.HandleFunc("/cluster/status", s.Cluster.StatusHandler)
 		mux.HandleFunc("/cluster/journal", s.Cluster.JournalHandler)
+		mux.HandleFunc("/cluster/metrics", s.Cluster.MetricsHandler)
 	}
 	if s.Obs != nil {
 		mux.Handle("/metrics", s.Obs.MetricsHandler())
@@ -498,9 +523,14 @@ func (s *System) ruleInfos() []engine.RuleInfo {
 	return infos
 }
 
-// Health is the /healthz response body.
+// Health is the /healthz response body. Ready is the load-balancer
+// signal: it turns false (and Status "degraded") while the node is
+// still alive but admission pressure approaches the configured
+// -max-pending-events limit, so traffic drains away before hard 429
+// shedding starts. Nodes without an admission limit are always ready.
 type Health struct {
 	Status             string          `json:"status"`
+	Ready              bool            `json:"ready"`
 	UptimeSeconds      float64         `json:"uptime_seconds"`
 	Rules              int             `json:"rules"`
 	Languages          int             `json:"languages"`
@@ -508,14 +538,38 @@ type Health struct {
 	InstancesCompleted int             `json:"instances_completed"`
 	InstancesDied      int             `json:"instances_died"`
 	Notifications      int             `json:"notifications"`
-	Store              *store.Health   `json:"store,omitempty"`   // absent for in-memory deployments
-	Cluster            *cluster.Status `json:"cluster,omitempty"` // absent for single-node deployments
+	Store              *store.Health    `json:"store,omitempty"`     // absent for in-memory deployments
+	Cluster            *cluster.Status  `json:"cluster,omitempty"`   // absent for single-node deployments
+	Admission          *AdmissionHealth `json:"admission,omitempty"` // absent without -max-pending-events
+}
+
+// AdmissionHealth reports event-admission pressure: how many POST
+// /events requests hold a slot right now, the configured cap, the
+// pending level at which Ready degrades, and the engine's worker-queue
+// depth (0 for synchronous engines).
+type AdmissionHealth struct {
+	Pending          int `json:"pending"`
+	MaxPendingEvents int `json:"max_pending_events"`
+	ReadyThreshold   int `json:"ready_threshold"`
+	EngineQueueDepth int `json:"engine_queue_depth"`
+}
+
+// readyThreshold is the pending-admissions level at which /healthz
+// degrades: 90% of the cap, but at least 1 so a tiny cap still has a
+// degraded band before outright 429s.
+func readyThreshold(maxPending int) int {
+	t := maxPending * 9 / 10
+	if t < 1 {
+		t = 1
+	}
+	return t
 }
 
 func (s *System) healthz(w http.ResponseWriter, r *http.Request) {
 	st := s.Engine.Stats()
 	h := Health{
 		Status:             "ok",
+		Ready:              true,
 		UptimeSeconds:      time.Since(s.started).Seconds(),
 		Rules:              len(s.Engine.Rules()),
 		Languages:          len(s.GRH.Languages()),
@@ -523,6 +577,19 @@ func (s *System) healthz(w http.ResponseWriter, r *http.Request) {
 		InstancesCompleted: st.InstancesCompleted,
 		InstancesDied:      st.InstancesDied,
 		Notifications:      len(s.Notifier.Sent()),
+	}
+	if s.maxPending > 0 {
+		a := AdmissionHealth{
+			Pending:          len(s.eventSlots),
+			MaxPendingEvents: s.maxPending,
+			ReadyThreshold:   readyThreshold(s.maxPending),
+			EngineQueueDepth: s.Engine.QueueDepth(),
+		}
+		h.Admission = &a
+		if a.Pending >= a.ReadyThreshold {
+			h.Ready = false
+			h.Status = "degraded"
+		}
 	}
 	if s.Durable != nil {
 		sh := s.Durable.Health()

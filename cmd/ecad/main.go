@@ -13,7 +13,8 @@
 //	     [-shard-tuples N] [-max-shards K] \
 //	     [-data-dir DIR] [-fsync always|interval|never] [-snapshot-every N] \
 //	     [-node-id ID -peers id=url,id=url,...] [-replicate-to ID|none] \
-//	     [-probe-interval 1s] [-peer-down-after N] [-max-pending-events N]
+//	     [-probe-interval 1s] [-peer-down-after N] [-max-pending-events N] \
+//	     [-detect-partitions W] [-partition-queue N]
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the HTTP listener
 // stops accepting requests, then the engine drains every in-flight rule
@@ -105,6 +106,8 @@ type options struct {
 	probeInterval   time.Duration
 	peerDownAfter   int
 	maxPending      int
+	detectParts     int
+	partitionQueue  int
 	rules           []string
 	docs            []string
 }
@@ -159,6 +162,8 @@ func main() {
 	flag.DurationVar(&o.probeInterval, "probe-interval", cluster.DefaultProbeInterval, "cluster health-probe cadence")
 	flag.IntVar(&o.peerDownAfter, "peer-down-after", cluster.DefaultDownAfter, "consecutive failed probes before a peer is declared down")
 	flag.IntVar(&o.maxPending, "max-pending-events", 0, "max concurrent POST /events requests before shedding with 429 (0 = unlimited)")
+	flag.IntVar(&o.detectParts, "detect-partitions", 0, "shard SNOOP/matcher detection across this many pinned partition workers (0 = inline, fully synchronous)")
+	flag.IntVar(&o.partitionQueue, "partition-queue", 0, "per-partition detection queue capacity (0 = default; full queues back-pressure event admission)")
 	var rules, docs repeated
 	flag.Var(&rules, "rule", "rule file to register at startup (repeatable)")
 	flag.Var(&docs, "doc", "uri=file pair to load into the document store (repeatable)")
@@ -223,6 +228,8 @@ func run(o options) error {
 		cfg.Store = st
 	}
 	cfg.MaxPendingEvents = o.maxPending
+	cfg.DetectorPartitions = o.detectParts
+	cfg.PartitionQueue = o.partitionQueue
 	if o.peers != "" || o.nodeID != "" {
 		if o.nodeID == "" || o.peers == "" {
 			return fmt.Errorf("clustering needs both -node-id and -peers")
@@ -321,6 +328,9 @@ func run(o options) error {
 	}
 	if o.shardTuples > 0 {
 		logger.Info("partitioned dispatch on", "shard_tuples", o.shardTuples, "max_shards", o.maxShards)
+	}
+	if o.detectParts > 0 {
+		logger.Info("partitioned detection on", "partitions", o.detectParts, "queue", o.partitionQueue)
 	}
 
 	if o.distribute {

@@ -26,8 +26,19 @@
 // lifecycle stage; point -person/-from/-to elsewhere to load a different
 // rule set.
 //
+// With -batch N every POST carries N events as an NDJSON body (one JSON
+// string of XML per line, Content-Type application/x-ndjson) admitted by
+// the daemon under a single journal fsync and sequencing step. -rate stays
+// events/second: the POST schedule slows down by the batch factor, so a
+// batched and an unbatched run at the same -rate offer the daemon the same
+// event load. -series labels the JSON report so multiple runs can be
+// archived side by side; -baseline FILE -min-speedup X fails the run
+// (exit 1) unless this run's admitted events/second is at least X times
+// the baseline report's — the CI regression gate for batched ingest.
+//
 // The exit status is non-zero when a lint fails, the daemon admitted
-// nothing, or no rule instance completed (zero e2e observations).
+// nothing, no rule instance completed (zero e2e observations), or the
+// -min-speedup gate fails.
 package main
 
 import (
@@ -56,8 +67,10 @@ const maxRetryAfter = 2 * time.Second
 // Report is the BENCH_ingest.json document: the daemon-side view of one
 // ecaload run.
 type Report struct {
+	Series          string   `json:"series,omitempty"`
 	Endpoint        string   `json:"endpoint"`
 	TargetRate      float64  `json:"target_rate_per_second"`
+	BatchSize       int      `json:"batch_size"`
 	Producers       int      `json:"producers"`
 	DurationSeconds float64  `json:"duration_seconds"`
 	Sent            int64    `json:"sent"`
@@ -89,21 +102,30 @@ func main() {
 		duration  = flag.Duration("duration", 10*time.Second, "how long to generate load")
 		settle    = flag.Duration("settle", 5*time.Second, "how long to wait for in-flight instances to drain after the load stops")
 		jsonPath  = flag.String("json", "", "write the run report as JSON to this file (e.g. BENCH_ingest.json)")
-		person    = flag.String("person", "John Doe", "booking person attribute")
-		from      = flag.String("from", "Munich", "booking from attribute")
-		to        = flag.String("to", "Paris", "booking to attribute")
+		person     = flag.String("person", "John Doe", "booking person attribute")
+		from       = flag.String("from", "Munich", "booking from attribute")
+		to         = flag.String("to", "Paris", "booking to attribute")
+		batch      = flag.Int("batch", 1, "events per POST: 1 posts single XML documents, N>1 posts NDJSON batches")
+		series     = flag.String("series", "", "label stamped into the JSON report (e.g. batched, unbatched)")
+		baseline   = flag.String("baseline", "", "baseline report JSON to compare admitted events/second against")
+		minSpeedup = flag.Float64("min-speedup", 0, "fail unless events/second >= this multiple of the -baseline rate (0 disables the gate)")
 	)
 	flag.Parse()
-	if *rate <= 0 || *producers <= 0 {
-		fmt.Fprintln(os.Stderr, "ecaload: -rate and -producers must be positive")
+	if *rate <= 0 || *producers <= 0 || *batch < 1 {
+		fmt.Fprintln(os.Stderr, "ecaload: -rate, -producers and -batch must be positive")
+		os.Exit(2)
+	}
+	if *minSpeedup > 0 && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "ecaload: -min-speedup needs -baseline")
 		os.Exit(2)
 	}
 
-	rep, err := run(*server, *rate, *producers, *duration, *settle, *person, *from, *to)
+	rep, err := run(*server, *rate, *producers, *batch, *duration, *settle, *person, *from, *to)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ecaload: %v\n", err)
 		os.Exit(1)
 	}
+	rep.Series = *series
 	printSummary(os.Stdout, rep)
 	if *jsonPath != "" {
 		data, _ := json.MarshalIndent(rep, "", "  ")
@@ -112,9 +134,60 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if !healthy(rep) {
+	ok := healthy(rep)
+	if *baseline != "" {
+		base, err := baselineRate(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ecaload: -baseline: %v\n", err)
+			os.Exit(1)
+		}
+		speedup := rep.EventsPerSecond / base
+		fmt.Printf("speedup vs baseline: %.2fx (baseline %.1f events/sec", speedup, base)
+		if *minSpeedup > 0 {
+			fmt.Printf(", gate >= %.2fx", *minSpeedup)
+		}
+		fmt.Println(")")
+		if *minSpeedup > 0 && speedup < *minSpeedup {
+			fmt.Fprintf(os.Stderr, "ecaload: speedup %.2fx below the -min-speedup %.2fx gate\n", speedup, *minSpeedup)
+			ok = false
+		}
+	}
+	if !ok {
 		os.Exit(1)
 	}
+}
+
+// baselineRate reads the admitted events/second out of a baseline report:
+// either a single Report document or the archived {series: [...]} shape,
+// preferring the series labelled "unbatched".
+func baselineRate(path string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var multi struct {
+		Series []Report `json:"series"`
+	}
+	if err := json.Unmarshal(data, &multi); err == nil && len(multi.Series) > 0 {
+		for _, r := range multi.Series {
+			if r.Series == "unbatched" {
+				return positiveRate(r)
+			}
+		}
+		return positiveRate(multi.Series[0])
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return 0, err
+	}
+	return positiveRate(r)
+}
+
+func positiveRate(r Report) (float64, error) {
+	if r.EventsPerSecond <= 0 {
+		return 0, fmt.Errorf("baseline report has no positive events_per_second")
+	}
+	return r.EventsPerSecond, nil
 }
 
 // defaultEndpoint mirrors ecactl: $ECA_ENDPOINT when set, the local
@@ -136,7 +209,7 @@ func healthy(rep *Report) bool {
 	return rep.ClusterLint == nil || *rep.ClusterLint
 }
 
-func run(base string, rate float64, producers int, duration, settle time.Duration, person, from, to string) (*Report, error) {
+func run(base string, rate float64, producers, batch int, duration, settle time.Duration, person, from, to string) (*Report, error) {
 	client := &http.Client{Timeout: 10 * time.Second}
 	before, lintBeforeErr, err := scrapeMetrics(client, base)
 	if err != nil {
@@ -144,8 +217,23 @@ func run(base string, rate float64, producers int, duration, settle time.Duratio
 	}
 
 	event := travel.Booking(person, from, to).String()
+	body, contentType := event, "application/xml"
+	if batch > 1 {
+		// One POST = one NDJSON batch of `batch` events; -rate still counts
+		// events, so the POST schedule stretches by the batch factor.
+		line, err := json.Marshal(event)
+		if err != nil {
+			return nil, err
+		}
+		var b strings.Builder
+		for i := 0; i < batch; i++ {
+			b.Write(line)
+			b.WriteByte('\n')
+		}
+		body, contentType = b.String(), "application/x-ndjson"
+	}
 	var sent, shed, clientErrs atomic.Int64
-	interval := time.Duration(float64(producers) / rate * float64(time.Second))
+	interval := time.Duration(float64(producers*batch) / rate * float64(time.Second))
 	if interval <= 0 {
 		interval = time.Nanosecond
 	}
@@ -172,8 +260,8 @@ func run(base string, rate float64, producers int, duration, settle time.Duratio
 					next = now
 				}
 				next = next.Add(interval)
-				sent.Add(1)
-				resp, err := client.Post(base+"/events", "application/xml", strings.NewReader(event))
+				sent.Add(int64(batch))
+				resp, err := client.Post(base+"/events", contentType, strings.NewReader(body))
 				if err != nil {
 					clientErrs.Add(1)
 					continue
@@ -182,7 +270,7 @@ func run(base string, rate float64, producers int, duration, settle time.Duratio
 				resp.Body.Close()
 				switch {
 				case resp.StatusCode == http.StatusTooManyRequests:
-					shed.Add(1)
+					shed.Add(int64(batch))
 					time.Sleep(retryAfter(resp))
 				case resp.StatusCode < 200 || resp.StatusCode > 299:
 					clientErrs.Add(1)
@@ -201,6 +289,7 @@ func run(base string, rate float64, producers int, duration, settle time.Duratio
 	rep := &Report{
 		Endpoint:        base,
 		TargetRate:      rate,
+		BatchSize:       batch,
 		Producers:       producers,
 		DurationSeconds: elapsed.Seconds(),
 		Sent:            sent.Load(),

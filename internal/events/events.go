@@ -6,8 +6,11 @@
 package events
 
 import (
+	"bytes"
 	"fmt"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -51,18 +54,53 @@ func (e Event) String() string {
 }
 
 // Stream is a pub/sub broker for events. Subscribers are invoked
-// synchronously, in subscription order, on the publisher's goroutine, which
-// gives rules deterministic detection order. Safe for concurrent use.
+// synchronously, in subscription order, which gives rules deterministic
+// detection order. Safe for concurrent use.
+//
+// Ordering guarantee: deliveries are totally ordered by Seq. Even under
+// concurrent publishers every subscriber observes strictly increasing
+// sequence numbers — sequencing and delivery are decoupled into an ordered
+// dispatch stage, so two racing Publish calls can never reach a subscriber
+// out of stream order (SNOOP's sequence/aperiodic/cumulative operators
+// depend on this invariant).
+//
+// Dispatch contract: the first publisher to find the stream idle becomes
+// the dispatcher and drains the delivery queue in Seq order on its own
+// goroutine; concurrent publishers enqueue and block until their event has
+// been delivered, so Publish still returns only after delivery. A publish
+// issued from inside a subscriber (a reentrant publish, e.g. act:raise on
+// a synchronous engine) cannot wait for itself — it is enqueued and
+// delivered by the running dispatcher after the current event's dispatch
+// completes, preserving order. Back-pressure is therefore the publisher's:
+// a slow subscriber extends the time every Publish call blocks.
 type Stream struct {
 	mu   sync.Mutex
+	cond *sync.Cond // signals delivered advancing; lazily bound to mu
 	seq  uint64
-	subs map[int]func(Event)
+	subs []subscriber // live subscribers, ascending id = subscription order
 	next int
+
+	queue         []pendingDelivery // sequenced, undelivered events (Seq order)
+	dispatching   bool              // a dispatcher goroutine is draining queue
+	dispatcherGID uint64            // goroutine id of the active dispatcher
+	delivered     uint64            // highest Seq fully delivered to all subscribers
+}
+
+type subscriber struct {
+	id int
+	fn func(Event)
+}
+
+type pendingDelivery struct {
+	ev       Event
+	handlers []func(Event)
 }
 
 // NewStream returns an empty stream.
 func NewStream() *Stream {
-	return &Stream{subs: map[int]func(Event){}}
+	s := &Stream{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
 }
 
 // Subscribe registers a handler for every future event and returns a
@@ -71,35 +109,140 @@ func (s *Stream) Subscribe(f func(Event)) (cancel func()) {
 	s.mu.Lock()
 	id := s.next
 	s.next++
-	s.subs[id] = f
+	s.subs = append(s.subs, subscriber{id: id, fn: f})
 	s.mu.Unlock()
 	return func() {
 		s.mu.Lock()
-		delete(s.subs, id)
+		for i, sub := range s.subs {
+			if sub.id == id {
+				s.subs = append(s.subs[:i:i], s.subs[i+1:]...)
+				break
+			}
+		}
 		s.mu.Unlock()
 	}
 }
 
+// handlersLocked snapshots the live subscriber functions in subscription
+// order. Caller holds s.mu.
+func (s *Stream) handlersLocked() []func(Event) {
+	handlers := make([]func(Event), len(s.subs))
+	for i, sub := range s.subs {
+		handlers[i] = sub.fn
+	}
+	return handlers
+}
+
 // Publish stamps the event with the next sequence number and delivers it to
-// all subscribers. It returns the stamped event.
+// all subscribers through the ordered dispatch stage. It returns the
+// stamped event once the event has been delivered — except for reentrant
+// publishes (from inside a subscriber), which return as soon as the event
+// is sequenced; the running dispatcher delivers it next, in order.
 func (s *Stream) Publish(ev Event) Event {
+	evs := [1]Event{ev}
+	s.publish(evs[:], true)
+	return evs[0]
+}
+
+// PublishBatch stamps the events with consecutive sequence numbers under a
+// single lock acquisition and delivers them in order. All events share one
+// observation time (unless already stamped) and one subscriber snapshot.
+// Like Publish, it returns after the last event has been delivered.
+func (s *Stream) PublishBatch(evs []Event) []Event {
+	s.publish(evs, true)
+	return evs
+}
+
+// PublishDetached stamps and enqueues the event for ordered delivery but
+// never waits for it: when the stream is idle the caller dispatches (and
+// the event is delivered before PublishDetached returns, matching Publish);
+// when a dispatch is already running — on this goroutine or another — the
+// event is left for that dispatcher. Use it where blocking on delivery
+// could deadlock, e.g. raising an event from an action executed on an
+// engine worker while the worker queue is full.
+func (s *Stream) PublishDetached(ev Event) Event {
+	evs := [1]Event{ev}
+	s.publish(evs[:], false)
+	return evs[0]
+}
+
+// publish sequences evs, enqueues them on the ordered dispatch queue, and
+// either drains the queue (becoming the dispatcher) or, when wait is set
+// and it is safe to do so, blocks until the last of evs is delivered.
+func (s *Stream) publish(evs []Event, wait bool) {
+	if len(evs) == 0 {
+		return
+	}
+	now := time.Now()
 	s.mu.Lock()
-	s.seq++
-	ev.Seq = s.seq
-	if ev.Time.IsZero() {
-		ev.Time = time.Now()
-	}
-	handlers := make([]func(Event), 0, len(s.subs))
-	for i := 0; i < s.next; i++ {
-		if h, ok := s.subs[i]; ok {
-			handlers = append(handlers, h)
+	handlers := s.handlersLocked()
+	for i := range evs {
+		s.seq++
+		evs[i].Seq = s.seq
+		if evs[i].Time.IsZero() {
+			evs[i].Time = now
 		}
+		s.queue = append(s.queue, pendingDelivery{ev: evs[i], handlers: handlers})
 	}
+	last := evs[len(evs)-1].Seq
+	if s.dispatching {
+		// Someone is draining the queue and will deliver our events in
+		// order. A reentrant publish (same goroutine: we are inside one of
+		// the dispatcher's subscriber callbacks) must not wait for itself.
+		if !wait || s.dispatcherGID == gid() {
+			s.mu.Unlock()
+			return
+		}
+		for s.delivered < last {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.dispatching = true
+	s.dispatcherGID = gid()
+	s.drainLocked()
+	s.dispatching = false
+	s.dispatcherGID = 0
 	s.mu.Unlock()
-	for _, h := range handlers {
-		h(ev)
+}
+
+// drainLocked delivers queued events in Seq order until the queue is
+// empty, releasing the lock around subscriber callbacks. Events enqueued
+// by concurrent or reentrant publishers while draining are picked up
+// before returning. Caller holds s.mu and has claimed the dispatcher role.
+func (s *Stream) drainLocked() {
+	for len(s.queue) > 0 {
+		d := s.queue[0]
+		s.queue[0] = pendingDelivery{}
+		s.queue = s.queue[1:]
+		if len(s.queue) == 0 {
+			s.queue = nil // release the drained backing array
+		}
+		s.mu.Unlock()
+		for _, h := range d.handlers {
+			h(d.ev)
+		}
+		s.mu.Lock()
+		s.delivered = d.ev.Seq
+		s.cond.Broadcast()
 	}
-	return ev
+}
+
+// gid returns the current goroutine's id, used to detect reentrant
+// publishes (a subscriber publishing from inside its callback). Parsing
+// runtime.Stack is the only portable way to identity a goroutine; the
+// cost is only paid when a dispatch is already in flight.
+func gid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	// "goroutine 123 [...": cut the prefix, parse up to the space.
+	fields := bytes.Fields(buf[:n])
+	if len(fields) < 2 {
+		return 0
+	}
+	id, _ := strconv.ParseUint(string(fields[1]), 10, 64)
+	return id
 }
 
 // --- atomic event patterns -------------------------------------------------------

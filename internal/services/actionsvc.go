@@ -74,7 +74,12 @@ func (a *ActionExecutor) execute(expr *xmltree.Node, t bindings.Tuple) error {
 		if a.stream == nil {
 			return fmt.Errorf("act:raise: no event stream attached")
 		}
-		a.stream.Publish(events.New(Instantiate(kids[0], t)))
+		// Detached: raising is ordered but never waits for delivery. On a
+		// synchronous engine the raise is reentrant (we are inside a
+		// stream dispatch) and must not wait for itself; on a worker-pool
+		// engine a blocking publish could deadlock against a full worker
+		// queue whose workers are themselves waiting to publish.
+		a.stream.PublishDetached(events.New(Instantiate(kids[0], t)))
 		return nil
 	case expr.Name.Space == ActionNS && expr.Name.Local == "send":
 		kids := expr.ChildElements()

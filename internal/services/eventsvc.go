@@ -3,6 +3,7 @@ package services
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bindings"
@@ -13,22 +14,76 @@ import (
 	"repro/internal/snoop"
 )
 
+// DetectorOption configures the event services' detection fan-out.
+type DetectorOption func(*detectorOpts)
+
+type detectorOpts struct {
+	pool *DetectorPool
+}
+
+// WithDetectorPool shards the service's detectors across the pool's
+// partition workers: each registration is pinned to one worker by rule
+// key, independent detectors evaluate in parallel, and a slow delivery
+// endpoint stalls only its own partition. Without a pool the service
+// evaluates inline on the stream's dispatch goroutine — the synchronous
+// historical behaviour. The pool may be shared by several services; its
+// lifetime is the caller's (close it after unsubscribing the services).
+func WithDetectorPool(p *DetectorPool) DetectorOption {
+	return func(o *detectorOpts) { o.pool = p }
+}
+
 // EventMatcher is the Atomic Event Matcher service of Section 4.2: rule
 // event components consisting of a single atomic event pattern are
 // registered here; every matching event on the stream produces a detection
 // message delivered through the Deliverer.
+//
+// With a DetectorPool the registered patterns are sharded across the
+// pool's workers (one events.Matcher per partition, patterns pinned by
+// rule key), so matching and delivery parallelize across partitions while
+// each pattern still sees the stream in order.
 type EventMatcher struct {
-	matcher *events.Matcher
-	deliver *Deliverer
-	mu      sync.Mutex
-	cancel  func()
+	matchers []*events.Matcher // one per partition; [0] only when inline
+	pool     *DetectorPool     // nil = inline evaluation on the stream goroutine
+	deliver  *Deliverer
+	mu       sync.Mutex
+	cancel   func()
 }
 
 // NewEventMatcher creates the service and subscribes it to the stream.
-func NewEventMatcher(stream *events.Stream, deliver *Deliverer) *EventMatcher {
-	m := &EventMatcher{matcher: events.NewMatcher(), deliver: deliver}
-	m.cancel = stream.Subscribe(m.matcher.OnEvent)
+func NewEventMatcher(stream *events.Stream, deliver *Deliverer, opts ...DetectorOption) *EventMatcher {
+	var o detectorOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	m := &EventMatcher{deliver: deliver, pool: o.pool}
+	n := 1
+	if m.pool != nil {
+		n = m.pool.Workers()
+	}
+	for i := 0; i < n; i++ {
+		m.matchers = append(m.matchers, events.NewMatcher())
+	}
+	m.cancel = stream.Subscribe(m.onEvent)
 	return m
+}
+
+// onEvent routes one stream event into the matcher shards: inline when no
+// pool is configured, otherwise one ordered task per partition that holds
+// at least one pattern. The stream's ordered dispatch calls onEvent in Seq
+// order and partitionWorker queues preserve enqueue order, so every
+// pattern observes a totally ordered feed.
+func (m *EventMatcher) onEvent(ev events.Event) {
+	if m.pool == nil {
+		m.matchers[0].OnEvent(ev)
+		return
+	}
+	for i, shard := range m.matchers {
+		if shard.Len() == 0 {
+			continue
+		}
+		shard := shard
+		m.pool.Enqueue(i, func() { shard.OnEvent(ev) })
+	}
 }
 
 // Close unsubscribes the service from its stream.
@@ -42,7 +97,21 @@ func (m *EventMatcher) Close() {
 }
 
 // Registrations returns the number of live registrations.
-func (m *EventMatcher) Registrations() int { return m.matcher.Len() }
+func (m *EventMatcher) Registrations() int {
+	n := 0
+	for _, shard := range m.matchers {
+		n += shard.Len()
+	}
+	return n
+}
+
+// shardFor pins a registration key to its matcher shard.
+func (m *EventMatcher) shardFor(key string) *events.Matcher {
+	if m.pool == nil {
+		return m.matchers[0]
+	}
+	return m.matchers[m.pool.Pick(key)]
+}
 
 // Handle implements grh.Service: register-event and unregister-event.
 func (m *EventMatcher) Handle(req *protocol.Request) (*protocol.Answer, error) {
@@ -57,7 +126,7 @@ func (m *EventMatcher) Handle(req *protocol.Request) (*protocol.Answer, error) {
 			return nil, err
 		}
 		ruleID, component, replyTo := req.RuleID, req.Component, req.ReplyTo
-		m.matcher.Register(key, p, func(d events.Detection) {
+		m.shardFor(key).Register(key, p, func(d events.Detection) {
 			a := &protocol.Answer{
 				RuleID:      ruleID,
 				Component:   component,
@@ -76,29 +145,75 @@ func (m *EventMatcher) Handle(req *protocol.Request) (*protocol.Answer, error) {
 		})
 		return &protocol.Answer{RuleID: req.RuleID, Component: req.Component}, nil
 	case protocol.UnregisterEvent:
-		m.matcher.Unregister(key)
+		m.shardFor(key).Unregister(key)
 		return &protocol.Answer{RuleID: req.RuleID, Component: req.Component}, nil
 	default:
 		return nil, fmt.Errorf("eventmatcher: unsupported request kind %q", req.Kind)
 	}
 }
 
+// snoopEntry is one registered SNOOP detector plus its delivery context.
+// pend buffers the occurrences emitted during a Feed/Advance call so
+// delivery happens after the detector step, outside every lock — the
+// service-wide mutex is never held across deliver.Deliver's (potentially
+// slow, synchronous, HTTP) call. pend is only touched by whoever is
+// legitimately feeding the detector: the feedMu holder inline, the pinned
+// partition worker when pooled.
+type snoopEntry struct {
+	key     string
+	det     *snoop.Detector
+	worker  int
+	replyTo string
+	pend    []*protocol.Answer
+}
+
+// pendingDeliveries swaps out and returns the answers buffered by the last
+// Feed/Advance. Must be called under the same serialization that fed the
+// detector.
+func (e *snoopEntry) pendingDeliveries() []*protocol.Answer {
+	out := e.pend
+	e.pend = nil
+	return out
+}
+
 // SnoopService is the composite event detection service: event components
 // in the SNOOP markup (snoop.NS) build detector graphs fed from the stream.
 // The parameter context is taken from the expression's context attribute
 // (default chronicle, the common choice for workflow-style rules).
+//
+// Concurrency contract: a snoop.Detector is not safe for concurrent use
+// and is order-sensitive, so every detector is fed from exactly one
+// serialization domain — the stream's ordered dispatch goroutine (inline
+// mode, serialized with Advance by feedMu) or the partition worker it is
+// pinned to for life (pool mode, where Advance ticks are routed through
+// the same worker queues). The service-wide mutex guards only the
+// registry; it is never held across Feed or delivery.
 type SnoopService struct {
 	deliver *Deliverer
-	mu      sync.Mutex
-	dets    map[string]*snoop.Detector
-	lastSeq uint64
-	cancel  func()
-	hub     *obs.Hub
+	pool    *DetectorPool // nil = inline evaluation on the stream goroutine
+
+	mu       sync.Mutex // registry only: dets, byWorker, hub, cancel
+	dets     map[string]*snoopEntry
+	byWorker [][]*snoopEntry // copy-on-write partition → entries index
+	hub      *obs.Hub
+	cancel   func()
+
+	feedMu  sync.Mutex // inline mode: serializes Feed/Advance across goroutines
+	lastSeq atomic.Uint64
 }
 
 // NewSnoopService creates the service and subscribes it to the stream.
-func NewSnoopService(stream *events.Stream, deliver *Deliverer) *SnoopService {
-	s := &SnoopService{deliver: deliver, dets: map[string]*snoop.Detector{}}
+func NewSnoopService(stream *events.Stream, deliver *Deliverer, opts ...DetectorOption) *SnoopService {
+	var o detectorOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s := &SnoopService{deliver: deliver, pool: o.pool, dets: map[string]*snoopEntry{}}
+	n := 1
+	if s.pool != nil {
+		n = s.pool.Workers()
+	}
+	s.byWorker = make([][]*snoopEntry, n)
 	s.cancel = stream.Subscribe(s.onEvent)
 	return s
 }
@@ -121,23 +236,80 @@ func (s *SnoopService) Close() {
 	}
 }
 
-func (s *SnoopService) onEvent(ev events.Event) {
+// partition returns the current entry list of one partition (copy-on-write
+// snapshot, safe to iterate without the registry lock).
+func (s *SnoopService) partition(w int) []*snoopEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.lastSeq = ev.Seq
-	for _, d := range s.dets {
-		d.Feed(ev)
+	return s.byWorker[w]
+}
+
+// rebuildLocked recomputes the copy-on-write partition index. Caller holds
+// s.mu.
+func (s *SnoopService) rebuildLocked() {
+	byWorker := make([][]*snoopEntry, len(s.byWorker))
+	for _, e := range s.dets {
+		byWorker[e.worker] = append(byWorker[e.worker], e)
+	}
+	s.byWorker = byWorker
+}
+
+// feedEntries runs one detector step (a Feed or an Advance) over the
+// entries and then delivers every occurrence it emitted. The caller
+// guarantees it owns the entries' serialization domain; no lock is held
+// across step or Deliver.
+func (s *SnoopService) feedEntries(entries []*snoopEntry, step func(*snoop.Detector)) {
+	for _, e := range entries {
+		step(e.det)
+		for _, a := range e.pendingDeliveries() {
+			// Delivery failures are the subscriber's problem; detection
+			// goes on for the remaining rules.
+			_ = s.deliver.Deliver(a, e.replyTo)
+		}
+	}
+}
+
+func (s *SnoopService) onEvent(ev events.Event) {
+	s.lastSeq.Store(ev.Seq)
+	if s.pool == nil {
+		entries := s.partition(0)
+		s.feedMu.Lock()
+		defer s.feedMu.Unlock()
+		s.feedEntries(entries, func(d *snoop.Detector) { d.Feed(ev) })
+		return
+	}
+	for w := 0; w < s.pool.Workers(); w++ {
+		entries := s.partition(w)
+		if len(entries) == 0 {
+			continue
+		}
+		s.pool.Enqueue(w, func() {
+			s.feedEntries(entries, func(d *snoop.Detector) { d.Feed(ev) })
+		})
 	}
 }
 
 // Advance moves every detector's clock forward, firing elapsed periodic
 // occurrences (snoop.Periodic) even while the stream is quiet. Call it from
-// a ticker, or use StartTicker.
+// a ticker, or use StartTicker. In pool mode the tick is routed through the
+// partition workers so it serializes with each detector's event feed.
 func (s *SnoopService) Advance(now time.Time) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, d := range s.dets {
-		d.Advance(now, s.lastSeq)
+	seq := s.lastSeq.Load()
+	if s.pool == nil {
+		entries := s.partition(0)
+		s.feedMu.Lock()
+		defer s.feedMu.Unlock()
+		s.feedEntries(entries, func(d *snoop.Detector) { d.Advance(now, seq) })
+		return
+	}
+	for w := 0; w < s.pool.Workers(); w++ {
+		entries := s.partition(w)
+		if len(entries) == 0 {
+			continue
+		}
+		s.pool.Enqueue(w, func() {
+			s.feedEntries(entries, func(d *snoop.Detector) { d.Advance(now, seq) })
+		})
 	}
 }
 
@@ -188,7 +360,11 @@ func (s *SnoopService) Handle(req *protocol.Request) (*protocol.Answer, error) {
 				return nil, err
 			}
 		}
-		ruleID, component, replyTo := req.RuleID, req.Component, req.ReplyTo
+		entry := &snoopEntry{key: key, replyTo: req.ReplyTo}
+		if s.pool != nil {
+			entry.worker = s.pool.Pick(key)
+		}
+		ruleID, component := req.RuleID, req.Component
 		det, err := snoop.NewDetector(expr, ctx, func(o snoop.Occurrence) {
 			a := &protocol.Answer{RuleID: ruleID, Component: component}
 			row := protocol.AnswerRow{Tuple: o.Bindings}
@@ -205,21 +381,26 @@ func (s *SnoopService) Handle(req *protocol.Request) (*protocol.Answer, error) {
 				}
 			}
 			a.Rows = append(a.Rows, row)
-			_ = s.deliver.Deliver(a, replyTo)
+			// Buffered, not delivered: the feeding goroutine drains pend
+			// after the detector step, outside every lock.
+			entry.pend = append(entry.pend, a)
 		})
 		if err != nil {
 			return nil, err
 		}
+		entry.det = det
 		s.mu.Lock()
 		if s.hub != nil {
 			det.SetObs(s.hub)
 		}
-		s.dets[key] = det
+		s.dets[key] = entry
+		s.rebuildLocked()
 		s.mu.Unlock()
 		return &protocol.Answer{RuleID: req.RuleID, Component: req.Component}, nil
 	case protocol.UnregisterEvent:
 		s.mu.Lock()
 		delete(s.dets, key)
+		s.rebuildLocked()
 		s.mu.Unlock()
 		return &protocol.Answer{RuleID: req.RuleID, Component: req.Component}, nil
 	default:

@@ -1,0 +1,107 @@
+package services
+
+import (
+	"hash/fnv"
+	"strconv"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// DefaultPartitionQueue is the per-worker task queue capacity when the
+// caller does not choose one. A full queue blocks the stream's ordered
+// dispatch stage — and through it the publishing POST /events handlers,
+// which keep holding admission slots until the publish completes, so
+// sustained detector overload surfaces as -max-pending-events 429s at the
+// edge rather than unbounded memory growth.
+const DefaultPartitionQueue = 256
+
+// DetectorPool fans event detection out across a fixed set of partition
+// workers. Each detector (a SNOOP graph or an atomic-pattern matcher
+// shard) is pinned to one worker by FNV hash of its rule key at
+// registration time, so a detector's events are always processed by the
+// same goroutine, in the order they were enqueued — the stream's ordered
+// dispatch enqueues in Seq order, hence every detector still observes a
+// totally ordered event feed while independent detectors evaluate in
+// parallel and one rule's slow delivery endpoint cannot stall another
+// partition's detection.
+type DetectorPool struct {
+	workers []*partitionWorker
+	wg      sync.WaitGroup
+	close   sync.Once
+}
+
+type partitionWorker struct {
+	tasks  chan func()
+	events *obs.Counter // snoop_partition_events_total{partition}
+	depth  *obs.Gauge   // snoop_partition_queue_depth{partition}
+}
+
+// NewDetectorPool starts workers goroutines with bounded task queues of
+// the given capacity (DefaultPartitionQueue when <= 0). The hub's metrics
+// registry receives per-partition counters; a nil hub runs uninstrumented.
+func NewDetectorPool(workers, queue int, h *obs.Hub) *DetectorPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue <= 0 {
+		queue = DefaultPartitionQueue
+	}
+	reg := h.Metrics()
+	eventsVec := reg.CounterVec("snoop_partition_events_total",
+		"Detection tasks enqueued to partition workers, per partition (one task per event per partition with pinned detectors).", "partition")
+	depthVec := reg.GaugeVec("snoop_partition_queue_depth",
+		"Detection tasks waiting in each partition worker's queue.", "partition")
+	p := &DetectorPool{}
+	for i := 0; i < workers; i++ {
+		w := &partitionWorker{
+			tasks:  make(chan func(), queue),
+			events: eventsVec.With(strconv.Itoa(i)),
+			depth:  depthVec.With(strconv.Itoa(i)),
+		}
+		p.workers = append(p.workers, w)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for task := range w.tasks {
+				w.depth.Set(float64(len(w.tasks)))
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the partition count.
+func (p *DetectorPool) Workers() int { return len(p.workers) }
+
+// Pick pins a rule key to a partition: FNV-1a of the key modulo the
+// worker count. The pin is stable for the detector's lifetime, which is
+// what guarantees its ordered feed.
+func (p *DetectorPool) Pick(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32()) % len(p.workers)
+}
+
+// Enqueue hands a task to the given worker, blocking while its queue is
+// full (the documented back-pressure contract). Tasks enqueued by one
+// goroutine run in enqueue order on the worker's goroutine.
+func (p *DetectorPool) Enqueue(worker int, task func()) {
+	w := p.workers[worker]
+	w.events.Inc()
+	w.tasks <- task
+	w.depth.Set(float64(len(w.tasks)))
+}
+
+// Close stops the workers after draining every queued task. Callers must
+// stop producing first (unsubscribe the services from their stream and
+// stop Advance tickers); enqueueing after Close panics.
+func (p *DetectorPool) Close() {
+	p.close.Do(func() {
+		for _, w := range p.workers {
+			close(w.tasks)
+		}
+	})
+	p.wg.Wait()
+}

@@ -1,0 +1,350 @@
+package services
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/snoop"
+	"repro/internal/xmltree"
+)
+
+// keysOnDistinctWorkers finds n rule ids whose registry keys (ruleID +
+// "/e") land on n distinct partitions of the pool.
+func keysOnDistinctWorkers(t *testing.T, p *DetectorPool, n int) []string {
+	t.Helper()
+	seen := map[int]string{}
+	for i := 0; i < 10_000 && len(seen) < n; i++ {
+		id := fmt.Sprintf("r%d", i)
+		w := p.Pick(id + "/e")
+		if _, ok := seen[w]; !ok {
+			seen[w] = id
+		}
+	}
+	if len(seen) < n {
+		t.Fatalf("could not find %d distinct partitions", n)
+	}
+	out := make([]string, 0, n)
+	for _, id := range seen {
+		out = append(out, id)
+	}
+	return out
+}
+
+func TestDetectorPoolPickStable(t *testing.T) {
+	p := NewDetectorPool(4, 8, nil)
+	defer p.Close()
+	if p.Workers() != 4 {
+		t.Fatalf("workers = %d", p.Workers())
+	}
+	for _, k := range []string{"a", "b/c", "rule-17/event[1]"} {
+		if p.Pick(k) != p.Pick(k) {
+			t.Errorf("Pick(%q) unstable", k)
+		}
+		if w := p.Pick(k); w < 0 || w >= 4 {
+			t.Errorf("Pick(%q) = %d out of range", k, w)
+		}
+	}
+}
+
+func TestDetectorPoolEnqueueOrder(t *testing.T) {
+	p := NewDetectorPool(2, 4, nil)
+	var mu sync.Mutex
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		p.Enqueue(1, func() {
+			mu.Lock()
+			got = append(got, i)
+			mu.Unlock()
+		})
+	}
+	p.Close() // drains
+	if len(got) != 100 {
+		t.Fatalf("ran %d tasks, want 100", len(got))
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("task %d ran out of order: %v...", i, got[:i+1])
+		}
+	}
+}
+
+// TestSnoopSlowDeliveryDoesNotBlockOtherPartitions is satellite coverage
+// for the narrowed lock: the seed held the service-wide mutex across
+// deliver.Deliver, so one rule's slow subscriber blocked detection of the
+// NEXT event for every other rule. With partitioned fan-out, rule B's
+// detection of event N+1 completes while rule A's delivery of event N is
+// still in flight.
+func TestSnoopSlowDeliveryDoesNotBlockOtherPartitions(t *testing.T) {
+	pool := NewDetectorPool(4, 16, nil)
+	defer pool.Close()
+	ids := keysOnDistinctWorkers(t, pool, 2)
+	slowID, fastID := ids[0], ids[1]
+
+	slowEntered := make(chan struct{})
+	release := make(chan struct{})
+	fastGot := make(chan *protocol.Answer, 1)
+	stream := events.NewStream()
+	s := NewSnoopService(stream, &Deliverer{Local: func(a *protocol.Answer) {
+		switch a.RuleID {
+		case slowID:
+			close(slowEntered)
+			<-release // a very slow subscriber
+		case fastID:
+			fastGot <- a
+		}
+	}}, WithDetectorPool(pool))
+	defer s.Close()
+
+	reg := func(id, name string) {
+		expr := xmltree.MustParse(`<snoop:event xmlns:snoop="` + snoop.NS + `"><` + name + `/></snoop:event>`).Root()
+		if _, err := s.Handle(&protocol.Request{Kind: protocol.RegisterEvent, RuleID: id, Component: "e", Expression: expr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg(slowID, "slow")
+	reg(fastID, "fast")
+
+	// Event N matches the slow rule; its delivery parks on the release
+	// channel inside that rule's partition worker.
+	stream.Publish(events.New(xmltree.NewElement("", "slow")))
+	select {
+	case <-slowEntered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("slow rule never detected its event")
+	}
+	// Event N+1 matches the fast rule on another partition; its detection
+	// and delivery must complete while the slow delivery is still blocked.
+	stream.Publish(events.New(xmltree.NewElement("", "fast")))
+	select {
+	case a := <-fastGot:
+		if a.RuleID != fastID {
+			t.Fatalf("unexpected answer %+v", a)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fast rule's detection was blocked behind the slow delivery")
+	}
+	close(release)
+}
+
+// TestSnoopSequenceNoMisfireUnderConcurrentPublishers is the SNOOP-level
+// regression for the out-of-order Publish family: a sequence detector
+// a;b (joined on p) fed from racing publishers must fire exactly once per
+// pair. Before the ordered dispatch stage, a pair's b could reach the
+// detector before its a, silently dropping the occurrence. Exercises both
+// the inline and the partitioned fan-out.
+func TestSnoopSequenceNoMisfireUnderConcurrentPublishers(t *testing.T) {
+	for _, mode := range []string{"inline", "partitioned"} {
+		t.Run(mode, func(t *testing.T) {
+			const (
+				publishers = 8
+				pairsPer   = 40
+			)
+			var opts []DetectorOption
+			if mode == "partitioned" {
+				pool := NewDetectorPool(4, 32, nil)
+				defer pool.Close()
+				opts = append(opts, WithDetectorPool(pool))
+			}
+			var mu sync.Mutex
+			var got []*protocol.Answer
+			stream := events.NewStream()
+			s := NewSnoopService(stream, &Deliverer{Local: func(a *protocol.Answer) {
+				mu.Lock()
+				got = append(got, a)
+				mu.Unlock()
+			}}, opts...)
+			defer s.Close()
+			expr := xmltree.MustParse(`<snoop:seq xmlns:snoop="` + snoop.NS + `" context="chronicle">
+				<snoop:event><a p="$P"/></snoop:event>
+				<snoop:event><b p="$P"/></snoop:event>
+			</snoop:seq>`).Root()
+			if _, err := s.Handle(&protocol.Request{Kind: protocol.RegisterEvent, RuleID: "seq", Component: "e", Expression: expr}); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for p := 0; p < publishers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < pairsPer; i++ {
+						tag := fmt.Sprintf("%d-%d", p, i)
+						ea := xmltree.NewElement("", "a")
+						ea.SetAttr("", "p", tag)
+						stream.Publish(events.New(ea)) // returns after ordered dispatch
+						eb := xmltree.NewElement("", "b")
+						eb.SetAttr("", "p", tag)
+						stream.Publish(events.New(eb)) // so b's Seq > a's Seq, globally
+					}
+				}(p)
+			}
+			wg.Wait()
+			// Partitioned detection is asynchronous past the queue; wait for
+			// the full count.
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				mu.Lock()
+				n := len(got)
+				mu.Unlock()
+				if n >= publishers*pairsPer || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if len(got) != publishers*pairsPer {
+				t.Fatalf("sequence fired %d times, want %d (misfire under concurrency)", len(got), publishers*pairsPer)
+			}
+			seen := map[string]bool{}
+			for _, a := range got {
+				p := a.Rows[0].Tuple["P"].AsString()
+				if seen[p] {
+					t.Fatalf("pair %q detected twice", p)
+				}
+				seen[p] = true
+			}
+		})
+	}
+}
+
+// TestEventMatcherPartitioned: the atomic matcher shards its patterns
+// across the pool and still delivers every match.
+func TestEventMatcherPartitioned(t *testing.T) {
+	pool := NewDetectorPool(3, 16, obs.NewHub())
+	defer pool.Close()
+	var mu sync.Mutex
+	got := map[string]int{}
+	stream := events.NewStream()
+	m := NewEventMatcher(stream, &Deliverer{Local: func(a *protocol.Answer) {
+		mu.Lock()
+		got[a.RuleID]++
+		mu.Unlock()
+	}}, WithDetectorPool(pool))
+	defer m.Close()
+	const rules = 9
+	for i := 0; i < rules; i++ {
+		reg := &protocol.Request{
+			Kind: protocol.RegisterEvent, RuleID: fmt.Sprintf("r%d", i), Component: "e",
+			Expression: xmltree.MustParse(fmt.Sprintf(`<ev%d/>`, i)).Root(),
+		}
+		if _, err := m.Handle(reg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Registrations() != rules {
+		t.Fatalf("registrations = %d", m.Registrations())
+	}
+	for round := 0; round < 5; round++ {
+		for i := 0; i < rules; i++ {
+			stream.Publish(events.New(xmltree.NewElement("", fmt.Sprintf("ev%d", i))))
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		total := 0
+		for _, n := range got {
+			total += n
+		}
+		mu.Unlock()
+		if total >= rules*5 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < rules; i++ {
+		if got[fmt.Sprintf("r%d", i)] != 5 {
+			t.Fatalf("rule r%d matched %d times, want 5 (map: %v)", i, got[fmt.Sprintf("r%d", i)], got)
+		}
+	}
+	// Unregister goes to the same shard the registration was pinned to.
+	if _, err := m.Handle(&protocol.Request{Kind: protocol.UnregisterEvent, RuleID: "r0", Component: "e"}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Registrations() != rules-1 {
+		t.Fatalf("registrations after unregister = %d", m.Registrations())
+	}
+}
+
+// TestSnoopAdvanceRoutedThroughWorkers: in pool mode a clock tick
+// serializes with the pinned detector's event feed and still fires
+// elapsed periodic occurrences.
+func TestSnoopAdvanceRoutedThroughWorkers(t *testing.T) {
+	pool := NewDetectorPool(2, 8, nil)
+	defer pool.Close()
+	fired := make(chan *protocol.Answer, 16)
+	stream := events.NewStream()
+	s := NewSnoopService(stream, &Deliverer{Local: func(a *protocol.Answer) { fired <- a }},
+		WithDetectorPool(pool))
+	defer s.Close()
+	expr := xmltree.MustParse(`<snoop:periodic interval="10s" xmlns:snoop="` + snoop.NS + `">
+		<snoop:event><start/></snoop:event>
+		<snoop:event><stop/></snoop:event>
+	</snoop:periodic>`).Root()
+	if _, err := s.Handle(&protocol.Request{Kind: protocol.RegisterEvent, RuleID: "p", Component: "e", Expression: expr}); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1000, 0)
+	stream.Publish(events.Event{Payload: xmltree.NewElement("", "start"), Time: base})
+	s.Advance(base.Add(25 * time.Second))
+	for i := 0; i < 2; i++ {
+		select {
+		case <-fired:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("periodic occurrence %d never fired through the worker", i+1)
+		}
+	}
+	select {
+	case a := <-fired:
+		t.Fatalf("unexpected extra occurrence %+v", a)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestDetectorPoolMetrics: partition counters are registered and advance.
+func TestDetectorPoolMetrics(t *testing.T) {
+	h := obs.NewHub()
+	pool := NewDetectorPool(2, 8, h)
+	done := make(chan struct{})
+	pool.Enqueue(0, func() { close(done) })
+	<-done
+	pool.Close()
+	var b strings.Builder
+	h.Metrics().WritePrometheus(&b)
+	if !containsLine(b.String(), `snoop_partition_events_total{partition="0"} 1`) {
+		t.Fatalf("missing partition counter in:\n%s", b.String())
+	}
+}
+
+func containsLine(dump, want string) bool {
+	for _, line := range splitLines(dump) {
+		if line == want {
+			return true
+		}
+	}
+	return false
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

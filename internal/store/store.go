@@ -406,6 +406,49 @@ func (s *Store) AppendEvent(doc *xmltree.Node) (uint64, error) {
 	return id, nil
 }
 
+// AppendEventBatch journals a batch of accepted atomic events under a
+// single lock acquisition — and, under FsyncAlways, a single fsync for the
+// whole batch — returning one store-local id per event, in order. This is
+// the durability half of batched admission: N events cost one mutex
+// round-trip and one disk flush instead of N. Ids are acknowledged with
+// AckEvents once the batch has been dispatched.
+func (s *Store) AppendEventBatch(docs []*xmltree.Node) ([]uint64, error) {
+	if s == nil || len(docs) == 0 {
+		return make([]uint64, len(docs)), nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.recovering || s.closed {
+		return make([]uint64, len(docs)), nil
+	}
+	ids := make([]uint64, 0, len(docs))
+	now := time.Now()
+	for _, doc := range docs {
+		if doc == nil {
+			ids = append(ids, 0)
+			continue
+		}
+		s.eventSeq++
+		id := s.eventSeq
+		s.events[id] = eventEntry{ID: id, Doc: doc.String(), Accepted: now}
+		if err := s.appendRecordLocked(record{Kind: KindEvent, Time: now, Event: id, Doc: doc.String()}, false); err != nil {
+			delete(s.events, id)
+			// The already-journaled prefix stays accepted; sync it so the
+			// caller's view (publish the prefix, fail the rest) matches disk.
+			if s.policy == FsyncAlways {
+				s.syncLocked()
+			}
+			return ids, err
+		}
+		ids = append(ids, id)
+	}
+	if s.policy == FsyncAlways {
+		s.syncLocked()
+	}
+	s.maybeSnapshotLocked()
+	return ids, nil
+}
+
 // AckEvent journals that the event with the given id has been dispatched
 // into the engine and no longer needs replay. Id 0 (from a nil store) is
 // ignored.
@@ -422,10 +465,46 @@ func (s *Store) AckEvent(id uint64) {
 	s.appendLocked(record{Kind: KindEventAck, Event: id})
 }
 
+// AckEvents journals the dispatch acknowledgement for a whole admitted
+// batch under one lock acquisition. Zero ids (nil store, shed events) are
+// skipped.
+func (s *Store) AckEvents(ids []uint64) {
+	if s == nil || len(ids) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.recovering || s.closed {
+		return
+	}
+	for _, id := range ids {
+		if id == 0 {
+			continue
+		}
+		delete(s.events, id)
+		s.appendRecordLocked(record{Kind: KindEventAck, Event: id}, false)
+	}
+	if s.policy == FsyncAlways {
+		s.syncLocked()
+	}
+	s.maybeSnapshotLocked()
+}
+
 // appendLocked frames and writes one record, applies the fsync policy and
 // triggers snapshot + compaction when the journal has grown past the
 // configured threshold. Caller holds s.mu.
 func (s *Store) appendLocked(rec record) error {
+	if err := s.appendRecordLocked(rec, s.policy == FsyncAlways); err != nil {
+		return err
+	}
+	s.maybeSnapshotLocked()
+	return nil
+}
+
+// appendRecordLocked frames and writes one record, optionally fsyncing.
+// Batched appenders pass sync=false and flush once at the end. Caller
+// holds s.mu.
+func (s *Store) appendRecordLocked(rec record, sync bool) error {
 	frame, err := encodeRecord(rec)
 	if err != nil {
 		s.met.errs.Inc()
@@ -445,15 +524,20 @@ func (s *Store) appendLocked(rec record) error {
 	if s.repSink != nil {
 		s.repSink(RepRecord{Seq: s.repSeq, Frame: frame})
 	}
-	if s.policy == FsyncAlways {
+	if sync {
 		s.syncLocked()
 	}
+	return nil
+}
+
+// maybeSnapshotLocked snapshots + compacts when the journal has grown past
+// the configured record threshold. Caller holds s.mu.
+func (s *Store) maybeSnapshotLocked() {
 	if s.every > 0 && s.journalRecords >= s.every {
 		if err := s.snapshotLocked(); err != nil {
 			s.warn("automatic snapshot failed", "error", err.Error())
 		}
 	}
-	return nil
 }
 
 // syncLocked fsyncs the journal, timing the call. Caller holds s.mu.

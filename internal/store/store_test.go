@@ -414,3 +414,86 @@ func TestSnapshotFormat(t *testing.T) {
 		t.Fatalf("snapshot = %+v", snap)
 	}
 }
+
+// AppendEventBatch journals N events in one lock acquisition with ids
+// indistinguishable from N sequential AppendEvent calls; AckEvents clears
+// the acked subset and recovery re-enqueues only the orphans.
+func TestAppendEventBatchRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{Fsync: FsyncAlways})
+	docs := []*xmltree.Node{
+		doc(t, `<t:ev xmlns:t="http://t/" n="1"/>`),
+		doc(t, `<t:ev xmlns:t="http://t/" n="2"/>`),
+		doc(t, `<t:ev xmlns:t="http://t/" n="3"/>`),
+	}
+	ids, err := s.AppendEventBatch(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[i-1]+1 {
+			t.Fatalf("batch ids not consecutive: %v", ids)
+		}
+	}
+	s.AckEvents(ids[:2])
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := open(t, dir, Options{})
+	defer r.Close()
+	pend := r.PendingEvents()
+	if len(pend) != 1 || !strings.Contains(pend[0], `n="3"`) {
+		t.Fatalf("pending after recovery = %v", pend)
+	}
+}
+
+// A batch append under FsyncAlways flushes once for the whole batch, not
+// once per record (the fsync histogram counts syncLocked calls).
+func TestAppendEventBatchSingleFsync(t *testing.T) {
+	dir := t.TempDir()
+	hub := obs.NewHub()
+	s := open(t, dir, Options{Obs: hub, Fsync: FsyncAlways})
+	defer s.Close()
+	var docs []*xmltree.Node
+	for i := 0; i < 16; i++ {
+		docs = append(docs, doc(t, fmt.Sprintf(`<e n="%d"/>`, i)))
+	}
+	var before strings.Builder
+	hub.Metrics().WritePrometheus(&before)
+	if _, err := s.AppendEventBatch(docs); err != nil {
+		t.Fatal(err)
+	}
+	var after strings.Builder
+	hub.Metrics().WritePrometheus(&after)
+	delta := fsyncCount(t, after.String()) - fsyncCount(t, before.String())
+	if delta != 1 {
+		t.Errorf("batch of 16 cost %d fsyncs, want 1", delta)
+	}
+}
+
+func fsyncCount(t *testing.T, exposition string) int {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if strings.HasPrefix(line, "store_fsync_seconds_count") {
+			var n int
+			if _, err := fmt.Sscanf(strings.Fields(line)[1], "%d", &n); err != nil {
+				t.Fatal(err)
+			}
+			return n
+		}
+	}
+	return 0
+}
+
+// Nil stores and empty batches are safe no-ops, like AppendEvent/AckEvent.
+func TestAppendEventBatchNilStore(t *testing.T) {
+	var s *Store
+	ids, err := s.AppendEventBatch([]*xmltree.Node{doc(t, `<e/>`)})
+	if err != nil || len(ids) != 1 || ids[0] != 0 {
+		t.Fatalf("nil store: ids=%v err=%v", ids, err)
+	}
+	s.AckEvents(ids)
+}

@@ -6,6 +6,7 @@
 package system
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -137,6 +138,18 @@ type Config struct {
 	// header and the documented overload body. Zero means no admission
 	// limit, the historical behaviour.
 	MaxPendingEvents int
+	// DetectorPartitions shards SNOOP and atomic-matcher detection across
+	// this many partition workers, each detector pinned to one worker by
+	// rule key (see services.DetectorPool). Zero keeps detection inline on
+	// the publishing goroutine — the historical, fully synchronous
+	// behaviour that most tests and the quickstart rely on.
+	DetectorPartitions int
+	// PartitionQueue is the per-partition task queue capacity;
+	// services.DefaultPartitionQueue when zero. A full queue blocks the
+	// stream's ordered dispatch and, through it, the POST /events handlers
+	// holding admission slots — so sustained detector overload surfaces as
+	// -max-pending-events 429s. Only meaningful with DetectorPartitions.
+	PartitionQueue int
 }
 
 // System is one wired deployment of the architecture.
@@ -152,12 +165,14 @@ type System struct {
 	Cluster  *cluster.Node // nil when the deployment is single-node
 
 	pprof      bool
-	eventSlots chan struct{} // admission semaphore for POST /events; nil = unlimited
-	maxPending int           // cap of eventSlots; 0 = unlimited
+	eventSlots chan struct{}          // admission semaphore for POST /events; nil = unlimited
+	maxPending int                    // cap of eventSlots; 0 = unlimited
+	pool       *services.DetectorPool // nil = inline detection
 
-	metAdmitted *obs.Counter // events_admitted_total
-	metShed     *obs.Counter // events_shed_total
-	metPending  *obs.Gauge   // events_pending
+	metAdmitted  *obs.Counter   // events_admitted_total
+	metShed      *obs.Counter   // events_shed_total
+	metPending   *obs.Gauge     // events_pending
+	metBatchSize *obs.Histogram // events_batch_size
 
 	Matcher *services.EventMatcher
 	Snoop   *services.SnoopService
@@ -199,8 +214,13 @@ func NewLocal(cfg Config) (*System, error) {
 	s.Engine = engine.New(s.GRH, engineOpts...)
 	deliver := &services.Deliverer{Local: s.Engine.OnDetection, Obs: cfg.Obs}
 
-	s.Matcher = services.NewEventMatcher(s.Stream, deliver)
-	s.Snoop = services.NewSnoopService(s.Stream, deliver)
+	var detOpts []services.DetectorOption
+	if cfg.DetectorPartitions > 0 {
+		s.pool = services.NewDetectorPool(cfg.DetectorPartitions, cfg.PartitionQueue, cfg.Obs)
+		detOpts = append(detOpts, services.WithDetectorPool(s.pool))
+	}
+	s.Matcher = services.NewEventMatcher(s.Stream, deliver, detOpts...)
+	s.Snoop = services.NewSnoopService(s.Stream, deliver, detOpts...)
 	s.Snoop.SetObs(cfg.Obs)
 	s.XQuery = services.NewXQueryService(s.Store, cfg.Namespaces)
 	s.Actions = services.NewActionExecutor(s.Store, s.Stream, s.Notifier.Send)
@@ -240,6 +260,9 @@ func NewLocal(cfg Config) (*System, error) {
 	s.metAdmitted = reg.Counter("events_admitted_total", "Events accepted by POST /events and published on the local stream.")
 	s.metShed = reg.Counter("events_shed_total", "POST /events requests shed with 429 by the admission limit.")
 	s.metPending = reg.Gauge("events_pending", "POST /events requests currently holding an admission slot.")
+	s.metBatchSize = reg.Histogram("events_batch_size",
+		"Events admitted per POST /events request (1 for the single-event contract; the batch size for eca:events envelopes and NDJSON bodies).",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
 	if cfg.Cluster != nil {
 		node, err := cluster.New(*cfg.Cluster, cluster.Hooks{
 			LocalRules:        s.Engine.RegisteredRules,
@@ -282,6 +305,10 @@ func (s *System) StartCluster() {
 //	GET  /engine/rules/{id}   one rule's bookkeeping as JSON
 //	DELETE /engine/rules/{id} unregisters the rule
 //	POST /events              event payload → journaled (when durable) and published;
+//	                          an <eca:events> envelope or an NDJSON body
+//	                          (Content-Type application/x-ndjson, one JSON
+//	                          string of XML per line) admits a whole batch
+//	                          under one journal fsync and one sequencing step;
 //	                          routed/forwarded to matching peers when clustered;
 //	                          429 + Retry-After + Overload body past the admission limit
 //	GET  /cluster/status      this node's cluster view as JSON (when clustered)
@@ -415,60 +442,7 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 			http.Error(w, "GET or DELETE a rule id", http.StatusMethodNotAllowed)
 		}
 	})
-	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST an event document", http.StatusMethodNotAllowed)
-			return
-		}
-		// The admission timestamp anchors the admit→action lifecycle
-		// histograms; it is taken before parsing and journaling so the
-		// admit stage covers both.
-		admittedAt := time.Now()
-		if s.eventSlots != nil {
-			select {
-			case s.eventSlots <- struct{}{}:
-				s.metPending.Set(float64(len(s.eventSlots)))
-				defer func() {
-					<-s.eventSlots
-					s.metPending.Set(float64(len(s.eventSlots)))
-				}()
-			default:
-				s.metShed.Inc()
-				writeOverloaded(w)
-				return
-			}
-		}
-		doc, err := xmltree.Parse(r.Body)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		// Clustered deployments route the event to the replicas whose rules
-		// can match it; a request a peer already forwarded (origin header
-		// set) is always handled locally, which keeps forwarding one-hop.
-		if s.Cluster != nil && r.Header.Get(cluster.OriginHeader) == "" {
-			res := s.Cluster.RouteEvent(doc)
-			// Publish locally when local rules match — or when no peer
-			// accepted the event, so it is never silently dropped.
-			if !res.Local && len(res.Forwarded) > 0 {
-				w.WriteHeader(http.StatusAccepted)
-				fmt.Fprintf(w, "forwarded to %s\n", strings.Join(res.Forwarded, " "))
-				return
-			}
-		}
-		// Journal the accepted event before dispatch, acknowledge after:
-		// a crash in between leaves an orphan record that recovery
-		// re-enqueues on the next boot.
-		journalID, err := s.Durable.AppendEvent(doc)
-		if err != nil {
-			http.Error(w, "event not journaled: "+err.Error(), http.StatusInternalServerError)
-			return
-		}
-		ev := s.Stream.Publish(events.NewAdmitted(doc, admittedAt))
-		s.Durable.AckEvent(journalID)
-		s.metAdmitted.Inc()
-		fmt.Fprintf(w, "%d\n", ev.Seq)
-	})
+	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/engine/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Engine.Stats()
 		fmt.Fprintf(w, "rules %d\ninstances_created %d\ninstances_completed %d\ninstances_died %d\naction_runs %d\nnotifications %d\n",
@@ -492,6 +466,149 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// parseEventDocs extracts the admitted event documents from one POST
+// /events body. Three shapes are accepted:
+//
+//   - a single event document — the historical contract;
+//   - an <eca:events> batch envelope: every child element is one event;
+//   - with Content-Type application/x-ndjson, newline-delimited JSON
+//     strings, each holding one XML event document (the ecaload -batch
+//     wire format, which needs no XML envelope assembly on the client).
+func parseEventDocs(r *http.Request) ([]*xmltree.Node, error) {
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/x-ndjson") {
+		var docs []*xmltree.Node
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			var frag string
+			if err := json.Unmarshal([]byte(line), &frag); err != nil {
+				return nil, fmt.Errorf("ndjson line %d: %w", len(docs)+1, err)
+			}
+			doc, err := xmltree.Parse(strings.NewReader(frag))
+			if err != nil {
+				return nil, fmt.Errorf("ndjson line %d: %w", len(docs)+1, err)
+			}
+			docs = append(docs, doc)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		if len(docs) == 0 {
+			return nil, errors.New("empty ndjson event batch")
+		}
+		return docs, nil
+	}
+	doc, err := xmltree.Parse(r.Body)
+	if err != nil {
+		return nil, err
+	}
+	root := doc.Root()
+	if root == nil || root.Name.Space != protocol.ECANS || root.Name.Local != "events" {
+		return []*xmltree.Node{doc}, nil
+	}
+	kids := root.ChildElements()
+	if len(kids) == 0 {
+		return nil, errors.New("eca:events envelope holds no events")
+	}
+	docs := make([]*xmltree.Node, 0, len(kids))
+	for _, k := range kids {
+		// Each event gets its own document so journaling and recovery
+		// replay see the same per-event shape as single admissions; the
+		// serializer re-synthesizes any xmlns declarations inherited from
+		// the envelope.
+		d := xmltree.NewDocument()
+		d.Append(k.Clone())
+		docs = append(docs, d)
+	}
+	return docs, nil
+}
+
+// handleEvents is POST /events: admit one event or a whole batch. A batch
+// is journaled under a single store lock acquisition and fsync, sequenced
+// atomically (consecutive Seq) and published through the stream's ordered
+// dispatch, so its per-event overhead is amortized down to parsing.
+func (s *System) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST an event document", http.StatusMethodNotAllowed)
+		return
+	}
+	// The admission timestamp anchors the admit→action lifecycle
+	// histograms; it is taken before parsing and journaling so the
+	// admit stage covers both. One batch = one admission slot: the cap
+	// bounds concurrent requests (and thus journal/dispatch pressure),
+	// not event count.
+	admittedAt := time.Now()
+	if s.eventSlots != nil {
+		select {
+		case s.eventSlots <- struct{}{}:
+			s.metPending.Set(float64(len(s.eventSlots)))
+			defer func() {
+				<-s.eventSlots
+				s.metPending.Set(float64(len(s.eventSlots)))
+			}()
+		default:
+			s.metShed.Inc()
+			writeOverloaded(w)
+			return
+		}
+	}
+	docs, err := parseEventDocs(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Clustered deployments route each event to the replicas whose rules
+	// can match it; a request a peer already forwarded (origin header
+	// set) is always handled locally, which keeps forwarding one-hop.
+	var forwarded []string
+	if s.Cluster != nil && r.Header.Get(cluster.OriginHeader) == "" {
+		local := docs[:0]
+		for _, doc := range docs {
+			res := s.Cluster.RouteEvent(doc)
+			// Publish locally when local rules match — or when no peer
+			// accepted the event, so it is never silently dropped.
+			if !res.Local && len(res.Forwarded) > 0 {
+				forwarded = append(forwarded, res.Forwarded...)
+				continue
+			}
+			local = append(local, doc)
+		}
+		docs = local
+		if len(docs) == 0 {
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprintf(w, "forwarded to %s\n", strings.Join(forwarded, " "))
+			return
+		}
+	}
+	// Journal the accepted events before dispatch, acknowledge after: a
+	// crash in between leaves orphan records that recovery re-enqueues on
+	// the next boot. The whole batch costs one lock acquisition and one
+	// fsync.
+	journalIDs, err := s.Durable.AppendEventBatch(docs)
+	if err != nil {
+		http.Error(w, "event not journaled: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	evs := make([]events.Event, len(docs))
+	for i, doc := range docs {
+		evs[i] = events.NewAdmitted(doc, admittedAt)
+	}
+	out := s.Stream.PublishBatch(evs)
+	s.Durable.AckEvents(journalIDs)
+	s.metAdmitted.Add(int64(len(out)))
+	s.metBatchSize.Observe(float64(len(out)))
+	for _, ev := range out {
+		fmt.Fprintf(w, "%d\n", ev.Seq)
+	}
+	if len(forwarded) > 0 {
+		fmt.Fprintf(w, "forwarded to %s\n", strings.Join(forwarded, " "))
+	}
 }
 
 // Overload is the documented JSON body of a 429 from POST /events: the
@@ -620,9 +737,15 @@ func (s *System) Close() {
 		// engine and store they feed off shut down.
 		s.Cluster.Close()
 	}
-	s.Engine.Close()
+	// Unsubscribe the event services (stop producing detection tasks),
+	// then drain the partition workers into the still-open engine, then
+	// drain the engine's rule instances.
 	s.Matcher.Close()
 	s.Snoop.Close()
+	if s.pool != nil {
+		s.pool.Close()
+	}
+	s.Engine.Close()
 	if s.Durable != nil {
 		if err := s.Durable.Close(); err != nil {
 			s.Log.Warn("store close", "error", err.Error())

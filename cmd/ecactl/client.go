@@ -6,7 +6,14 @@ import (
 	"net/http"
 	"os"
 	"strings"
+
+	"repro/internal/protocol"
 )
+
+// tenantID scopes every request to one tenant's rule space; empty
+// addresses the daemon's default tenant (set by -tenant or $ECA_TENANT
+// in main).
+var tenantID string
 
 // doRequest performs one HTTP exchange against the daemon and writes the
 // response body to out. On a non-2xx status the body (the daemon's error
@@ -19,6 +26,9 @@ func doRequest(out io.Writer, method, url string, body io.Reader) error {
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/xml")
+	}
+	if tenantID != "" {
+		req.Header.Set(protocol.TenantHeader, tenantID)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {

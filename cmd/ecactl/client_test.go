@@ -6,6 +6,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro/internal/protocol"
 )
 
 func TestDoRequestPrintsBodyOnSuccess(t *testing.T) {
@@ -55,6 +57,36 @@ func TestDoRequestEmptyErrorBody(t *testing.T) {
 	err := doRequest(&bytes.Buffer{}, http.MethodDelete, srv.URL, nil)
 	if err == nil || !strings.Contains(err.Error(), "empty response body") {
 		t.Errorf("err = %v", err)
+	}
+}
+
+// Every request carries the selected tenant as the X-ECA-Tenant header —
+// and no header at all when no tenant is selected, so a tenant-less
+// session is byte-identical with pre-tenant clients.
+func TestDoRequestStampsTenantHeader(t *testing.T) {
+	var got string
+	var present bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Get(protocol.TenantHeader)
+		present = len(r.Header.Values(protocol.TenantHeader)) > 0
+	}))
+	defer srv.Close()
+
+	defer func(prev string) { tenantID = prev }(tenantID)
+	tenantID = "acme"
+	if err := doRequest(&bytes.Buffer{}, http.MethodGet, srv.URL, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got != "acme" {
+		t.Errorf("%s = %q, want %q", protocol.TenantHeader, got, "acme")
+	}
+
+	tenantID = ""
+	if err := doRequest(&bytes.Buffer{}, http.MethodGet, srv.URL, nil); err != nil {
+		t.Fatal(err)
+	}
+	if present {
+		t.Errorf("%s header sent for the default tenant", protocol.TenantHeader)
 	}
 }
 

@@ -25,3 +25,28 @@ func TestDefaultEndpointHonorsEnv(t *testing.T) {
 		}
 	}
 }
+
+// The default tenant honours ECA_TENANT so scripted multi-tenant
+// workflows can scope a whole session without repeating -tenant; the
+// flag, parsed after the env lookup, still overrides it.
+func TestDefaultTenantHonorsEnv(t *testing.T) {
+	env := func(vals map[string]string) func(string) string {
+		return func(k string) string { return vals[k] }
+	}
+	cases := []struct {
+		name string
+		vals map[string]string
+		want string
+	}{
+		{"unset", nil, ""},
+		{"empty", map[string]string{"ECA_TENANT": ""}, ""},
+		{"blank", map[string]string{"ECA_TENANT": "   "}, ""},
+		{"set", map[string]string{"ECA_TENANT": "acme"}, "acme"},
+		{"trimmed", map[string]string{"ECA_TENANT": " acme "}, "acme"},
+	}
+	for _, c := range cases {
+		if got := defaultTenant(env(c.vals)); got != c.want {
+			t.Errorf("%s: defaultTenant = %q, want %q", c.name, got, c.want)
+		}
+	}
+}

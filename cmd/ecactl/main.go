@@ -16,7 +16,9 @@
 // depths. -n bounds the number of refreshes (0 = until interrupted).
 //
 // The default endpoint is taken from the ECA_ENDPOINT environment
-// variable when set; -s overrides it.
+// variable when set; -s overrides it. Likewise -tenant scopes every
+// command to one tenant's rule space on a multi-tenant daemon, defaulting
+// to the ECA_TENANT environment variable (flag > env > daemon default).
 package main
 
 import (
@@ -40,8 +42,16 @@ func defaultEndpoint(getenv func(string) string) string {
 	return "http://127.0.0.1:8080"
 }
 
+// defaultTenant resolves the tenant when -tenant is not given: the
+// ECA_TENANT environment variable if set, otherwise empty — the daemon's
+// default tenant.
+func defaultTenant(getenv func(string) string) string {
+	return strings.TrimSpace(getenv("ECA_TENANT"))
+}
+
 func main() {
 	server := flag.String("s", defaultEndpoint(os.Getenv), "ecad base URL (default honours $ECA_ENDPOINT)")
+	flag.StringVar(&tenantID, "tenant", defaultTenant(os.Getenv), "tenant whose rule space the command addresses (default honours $ECA_TENANT; empty = daemon default)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -101,6 +111,6 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ecactl [-s URL] register <rule.xml> | unregister <rule-id> | event <file|-> | book <person> <from> <to> | rules | stats | cluster status | cluster top [-every 2s] [-n 0]`)
+	fmt.Fprintln(os.Stderr, `usage: ecactl [-s URL] [-tenant ID] register <rule.xml> | unregister <rule-id> | event <file|-> | book <person> <from> <to> | rules | stats | cluster status | cluster top [-every 2s] [-n 0]`)
 	os.Exit(2)
 }

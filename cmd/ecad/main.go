@@ -14,7 +14,8 @@
 //	     [-data-dir DIR] [-fsync always|interval|never] [-snapshot-every N] \
 //	     [-node-id ID -peers id=url,id=url,...] [-replicate-to ID|none] \
 //	     [-probe-interval 1s] [-peer-down-after N] [-max-pending-events N] \
-//	     [-detect-partitions W] [-partition-queue N]
+//	     [-detect-partitions W] [-partition-queue N] \
+//	     [-default-tenant ID] [-tenant-quotas tenant:key=value,...]...
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the HTTP listener
 // stops accepting requests, then the engine drains every in-flight rule
@@ -35,6 +36,13 @@
 // and (when durable) the journal is streamed to a follower that takes the
 // partition over if this node dies (see docs/CLUSTERING.md). Without
 // -peers the daemon runs single-node, behaviourally unchanged.
+//
+// The daemon is multi-tenant: a rule or event carrying an X-ECA-Tenant
+// header (or ?tenant= parameter) lands in that tenant's isolated rule
+// space; requests naming no tenant use the default tenant, whose
+// behaviour is byte-identical with builds that predate multi-tenancy.
+// -tenant-quotas caps a tenant's rules, in-flight events and event rate
+// ("*" sets the quotas undeclared tenants get); see docs/MULTITENANCY.md.
 //
 // With -travel the daemon preloads the paper's car-rental scenario
 // (documents, opaque service endpoints and the Fig. 4 rule). With
@@ -69,6 +77,7 @@ import (
 	"repro/internal/ruleml"
 	"repro/internal/store"
 	"repro/internal/system"
+	"repro/internal/tenant"
 	"repro/internal/xmltree"
 )
 
@@ -108,6 +117,8 @@ type options struct {
 	maxPending      int
 	detectParts     int
 	partitionQueue  int
+	defaultTenant   string
+	tenantQuotas    []string
 	rules           []string
 	docs            []string
 }
@@ -164,11 +175,13 @@ func main() {
 	flag.IntVar(&o.maxPending, "max-pending-events", 0, "max concurrent POST /events requests before shedding with 429 (0 = unlimited)")
 	flag.IntVar(&o.detectParts, "detect-partitions", 0, "shard SNOOP/matcher detection across this many pinned partition workers (0 = inline, fully synchronous)")
 	flag.IntVar(&o.partitionQueue, "partition-queue", 0, "per-partition detection queue capacity (0 = default; full queues back-pressure event admission)")
-	var rules, docs repeated
+	flag.StringVar(&o.defaultTenant, "default-tenant", "", "tenant id that tenant-less requests resolve to (default \"public\")")
+	var rules, docs, quotas repeated
 	flag.Var(&rules, "rule", "rule file to register at startup (repeatable)")
 	flag.Var(&docs, "doc", "uri=file pair to load into the document store (repeatable)")
+	flag.Var(&quotas, "tenant-quotas", "per-tenant quotas as tenant:max-rules=N,max-pending-events=N,rate=R,burst=N (tenant may be \"*\"; repeatable)")
 	flag.Parse()
-	o.rules, o.docs = rules, docs
+	o.rules, o.docs, o.tenantQuotas = rules, docs, quotas
 
 	if err := run(o); err != nil {
 		log.Fatal(err)
@@ -186,7 +199,17 @@ func run(o options) error {
 	}
 	logger := obs.NewLogger(os.Stderr, o.logFormat, level)
 
-	cfg := system.Config{Namespaces: travel.Namespaces(), Log: logger, PProf: o.pprof}
+	cfg := system.Config{Namespaces: travel.Namespaces(), Log: logger, PProf: o.pprof, DefaultTenant: o.defaultTenant}
+	for _, spec := range o.tenantQuotas {
+		id, q, err := tenant.ParseQuotaSpec(spec)
+		if err != nil {
+			return fmt.Errorf("-tenant-quotas: %w", err)
+		}
+		if cfg.TenantQuotas == nil {
+			cfg.TenantQuotas = map[string]tenant.Quotas{}
+		}
+		cfg.TenantQuotas[id] = q
+	}
 	if o.metrics {
 		cfg.Obs = obs.NewHub()
 		stop := obs.StartRuntimeSampler(cfg.Obs.Metrics(), obs.DefaultSampleInterval)

@@ -57,6 +57,7 @@ import (
 
 	"repro/internal/domain/travel"
 	"repro/internal/obs"
+	"repro/internal/protocol"
 )
 
 // maxRetryAfter bounds how long a producer honours a 429's Retry-After
@@ -110,6 +111,7 @@ func main() {
 		baseline   = flag.String("baseline", "", "baseline report JSON to compare admitted events/second against")
 		minSpeedup = flag.Float64("min-speedup", 0, "fail unless events/second >= this multiple of the -baseline rate (0 disables the gate)")
 	)
+	flag.StringVar(&tenantID, "tenant", "", "tenant whose rule space receives the load (empty = daemon default)")
 	flag.Parse()
 	if *rate <= 0 || *producers <= 0 || *batch < 1 {
 		fmt.Fprintln(os.Stderr, "ecaload: -rate, -producers and -batch must be positive")
@@ -190,6 +192,24 @@ func positiveRate(r Report) (float64, error) {
 	return r.EventsPerSecond, nil
 }
 
+// tenantID scopes the generated load to one tenant's rule space; empty
+// addresses the daemon's default tenant.
+var tenantID string
+
+// postEvents posts one event (or NDJSON batch) to the daemon, stamped
+// with the selected tenant.
+func postEvents(client *http.Client, url, contentType, body string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	if tenantID != "" {
+		req.Header.Set(protocol.TenantHeader, tenantID)
+	}
+	return client.Do(req)
+}
+
 // defaultEndpoint mirrors ecactl: $ECA_ENDPOINT when set, the local
 // default otherwise.
 func defaultEndpoint(getenv func(string) string) string {
@@ -261,7 +281,7 @@ func run(base string, rate float64, producers, batch int, duration, settle time.
 				}
 				next = next.Add(interval)
 				sent.Add(int64(batch))
-				resp, err := client.Post(base+"/events", contentType, strings.NewReader(body))
+				resp, err := postEvents(client, base+"/events", contentType, body)
 				if err != nil {
 					clientErrs.Add(1)
 					continue
@@ -379,7 +399,9 @@ func awaitSettle(client *http.Client, base string, before *obs.Exposition, budge
 		}
 		count := exp.HistogramDist("event_e2e_seconds", nil).Count
 		pending, _ := exp.Value("events_pending", nil)
-		queued, _ := exp.Value("engine_queue_depth", nil)
+		// engine_queue_depth carries a tenant label (one child gauge per
+		// rule space), so the drained signal is the sum over all tenants.
+		queued := exp.Sum("engine_queue_depth", nil)
 		if (count == lastCount && pending == 0 && queued == 0) || time.Now().After(deadline) {
 			return exp, lintErr, nil
 		}

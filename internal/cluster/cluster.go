@@ -12,6 +12,7 @@ package cluster
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -89,11 +90,13 @@ type Hooks struct {
 	LocalRules func() []*ruleml.Rule
 	// RegisterRecovered registers one rule taken over from a dead peer
 	// through the engine's regular validation path, restoring its id and
-	// registration time.
-	RegisterRecovered func(id string, doc *xmltree.Node, registered time.Time) error
+	// registration time into the tenant's space it was journaled under
+	// (wire form; "" = default tenant).
+	RegisterRecovered func(tenant, id string, doc *xmltree.Node, registered time.Time) error
 	// PublishRecovered re-publishes one orphaned event (accepted by the
-	// dead peer, never dispatched) on the local stream.
-	PublishRecovered func(doc *xmltree.Node) error
+	// dead peer, never dispatched) on the local stream, into its tenant's
+	// space.
+	PublishRecovered func(tenant string, doc *xmltree.Node) error
 }
 
 // peerState is this node's view of one remote peer.
@@ -130,7 +133,7 @@ func newMetrics(h *obs.Hub) metrics {
 	r := h.Metrics()
 	return metrics{
 		forwarded:      r.CounterVec("cluster_forwarded_events_total", "Events forwarded to a peer replica, by peer id.", "peer"),
-		forwardErrs:    r.CounterVec("cluster_forward_errors_total", "Forwarding failures, by peer id and reason (shed = peer answered 429, error = hard failure).", "peer", "reason"),
+		forwardErrs:    r.CounterVec("cluster_forward_errors_total", "Forwarding failures, by peer id and reason (shed = peer answered 429 overloaded, quota = peer answered 429 tenant quota, error = hard failure).", "peer", "reason"),
 		replicated:     r.Counter("cluster_replicated_records_total", "Journal records acknowledged by this node's replication follower."),
 		peerUp:         r.GaugeVec("cluster_peer_up", "Probed peer liveness (1 = up, 0 = down), by peer id.", "peer"),
 		takeovers:      r.Counter("cluster_takeovers_total", "Partitions taken over from peers declared dead."),
@@ -307,13 +310,16 @@ func (n *Node) AssignID(doc *xmltree.Node) string {
 var ErrPeerDown = errors.New("cluster: peer down")
 
 // ForwardRule posts the rule document to its owner's /engine/rules and
-// relays the owner's status code and response body. On success the rule's
-// event vocabulary is learned into the routing table immediately, without
-// waiting for the next probe of the owner. The caller must have stamped
-// rule.Doc with the rule's id. Returns ErrPeerDown (wrapped) when the
-// owner is currently declared dead — the caller then falls back to
-// registering locally so the cluster stays writable during failover.
-func (n *Node) ForwardRule(rule *ruleml.Rule, owner string) (int, string, error) {
+// relays the owner's status code and response body. tenant is the rule
+// space the registration targets (wire form; "" = default), carried on
+// the hop's X-ECA-Tenant header so the owner registers into the same
+// space. On success the rule's event vocabulary is learned into the
+// routing table immediately, without waiting for the next probe of the
+// owner. The caller must have stamped rule.Doc with the rule's id.
+// Returns ErrPeerDown (wrapped) when the owner is currently declared
+// dead — the caller then falls back to registering locally so the
+// cluster stays writable during failover.
+func (n *Node) ForwardRule(tenant string, rule *ruleml.Rule, owner string) (int, string, error) {
 	n.mu.Lock()
 	ps, ok := n.peers[owner]
 	up := ok && ps.up
@@ -326,7 +332,7 @@ func (n *Node) ForwardRule(rule *ruleml.Rule, owner string) (int, string, error)
 	}
 	tr := n.hub.Traces().Begin("cluster:" + rule.ID)
 	start := time.Now()
-	status, body, err := n.post(ps.url+"/engine/rules", rule.Doc.String(), tr.ID())
+	status, body, err := n.post(ps.url+"/engine/rules", rule.Doc.String(), tr.ID(), tenant)
 	tr.AddSpan(obs.Span{Stage: "forward", Component: owner, Language: "register",
 		Mode: "cluster", TuplesOut: 1, Start: start, Duration: time.Since(start), Err: errString(err)})
 	if err != nil {
@@ -368,9 +374,11 @@ type RouteResult struct {
 // element, every peer whose vocabulary is not yet known, and this node if
 // its own rules match (or nobody else does) — and forwards it to each
 // remote target, one hop, with the origin header set so targets never
-// re-forward. Forwarded hops carry an X-ECA-Trace-Id and are recorded as
-// cluster-mode trace spans.
-func (n *Node) RouteEvent(doc *xmltree.Node) RouteResult {
+// re-forward. tenant is the event's rule space (wire form; "" = default),
+// carried on each hop's X-ECA-Tenant header so remote matching stays
+// inside the same space. Forwarded hops carry an X-ECA-Trace-Id and are
+// recorded as cluster-mode trace spans.
+func (n *Node) RouteEvent(tenant string, doc *xmltree.Node) RouteResult {
 	term := EventTerm(doc)
 	selfMatch := n.localMatches(term)
 	n.mu.Lock()
@@ -394,7 +402,7 @@ func (n *Node) RouteEvent(doc *xmltree.Node) RouteResult {
 	tr := n.hub.Traces().Begin("cluster:" + term)
 	for _, ps := range targets {
 		start := time.Now()
-		outcome, err := n.forwardEvent(ps, body, tr.ID())
+		outcome, err := n.forwardEvent(ps, body, tr.ID(), tenant)
 		tr.AddSpan(obs.Span{Stage: "forward", Component: ps.id, Language: term,
 			Mode: "cluster", TuplesOut: 1, Start: start, Duration: time.Since(start), Err: errString(err)})
 		switch outcome {
@@ -405,6 +413,14 @@ func (n *Node) RouteEvent(doc *xmltree.Node) RouteResult {
 			res.Shed = append(res.Shed, ps.id)
 			n.met.forwardErrs.With(ps.id, "shed").Inc()
 			n.log.Warn("cluster: peer shed forwarded event", "peer", ps.id, "term", term)
+		case forwardQuota:
+			// The peer's 429 named the tenant's quota, not its own load:
+			// retrying on another peer would hit the same quota, so the
+			// shed is final but metered under its own reason.
+			res.Shed = append(res.Shed, ps.id)
+			n.met.forwardErrs.With(ps.id, "quota").Inc()
+			n.log.Warn("cluster: peer rejected forwarded event on tenant quota",
+				"peer", ps.id, "term", term, "tenant", tenant)
 		case forwardFailed:
 			res.Failed = append(res.Failed, ps.id)
 			n.met.forwardErrs.With(ps.id, "error").Inc()
@@ -424,25 +440,31 @@ type forwardOutcome int
 const (
 	forwardOK forwardOutcome = iota
 	forwardShed
+	forwardQuota
 	forwardFailed
 )
 
 // forwardEvent posts the event to one peer. A 429 is shed load, not a hard
 // failure: the documented Retry-After is honored once (bounded to a
 // second) before giving up for this event — a distinction the overload
-// body shape of /events exists to make possible.
-func (n *Node) forwardEvent(ps *peerState, body, traceID string) (forwardOutcome, error) {
-	status, respBody, err := n.postEvent(ps, body, traceID)
+// body shape of /events exists to make possible. The final 429's body is
+// inspected to tell a global-overload shed from a per-tenant quota
+// rejection, which is metered under its own reason.
+func (n *Node) forwardEvent(ps *peerState, body, traceID, tenant string) (forwardOutcome, error) {
+	status, respBody, err := n.postEvent(ps, body, traceID, tenant)
 	if err != nil {
 		return forwardFailed, err
 	}
 	if status == http.StatusTooManyRequests {
 		time.Sleep(retryAfter(respBody.retryAfter))
-		status, respBody, err = n.postEvent(ps, body, traceID)
+		status, respBody, err = n.postEvent(ps, body, traceID, tenant)
 		if err != nil {
 			return forwardFailed, err
 		}
 		if status == http.StatusTooManyRequests {
+			if shedReason(respBody.text) == "quota" {
+				return forwardQuota, nil
+			}
 			return forwardShed, nil
 		}
 	}
@@ -452,12 +474,25 @@ func (n *Node) forwardEvent(ps *peerState, body, traceID string) (forwardOutcome
 	return forwardOK, nil
 }
 
+// shedReason classifies a 429 body: "quota" when the peer named a tenant
+// quota ({"error": "quota_exceeded", ...}), "shed" for the global
+// overload shape (or anything unparsable — the conservative reading).
+func shedReason(body string) string {
+	var resp struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal([]byte(body), &resp) == nil && resp.Error == "quota_exceeded" {
+		return "quota"
+	}
+	return "shed"
+}
+
 type eventResponse struct {
 	text       string
 	retryAfter string
 }
 
-func (n *Node) postEvent(ps *peerState, body, traceID string) (int, eventResponse, error) {
+func (n *Node) postEvent(ps *peerState, body, traceID, tenant string) (int, eventResponse, error) {
 	req, err := http.NewRequest(http.MethodPost, ps.url+"/events", strings.NewReader(body))
 	if err != nil {
 		return 0, eventResponse{}, err
@@ -466,6 +501,9 @@ func (n *Node) postEvent(ps *peerState, body, traceID string) (int, eventRespons
 	req.Header.Set(OriginHeader, n.id)
 	if traceID != "" {
 		req.Header.Set(protocol.TraceIDHeader, traceID)
+	}
+	if tenant != "" {
+		req.Header.Set(protocol.TenantHeader, tenant)
 	}
 	resp, err := n.client.Do(req)
 	if err != nil {
@@ -489,7 +527,7 @@ func retryAfter(v string) time.Duration {
 	return d
 }
 
-func (n *Node) post(url, body, traceID string) (int, string, error) {
+func (n *Node) post(url, body, traceID, tenant string) (int, string, error) {
 	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
 	if err != nil {
 		return 0, "", err
@@ -498,6 +536,9 @@ func (n *Node) post(url, body, traceID string) (int, string, error) {
 	req.Header.Set(OriginHeader, n.id)
 	if traceID != "" {
 		req.Header.Set(protocol.TraceIDHeader, traceID)
+	}
+	if tenant != "" {
+		req.Header.Set(protocol.TenantHeader, tenant)
 	}
 	resp, err := n.client.Do(req)
 	if err != nil {

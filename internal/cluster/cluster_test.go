@@ -204,7 +204,7 @@ func TestRouteEventByVocabulary(t *testing.T) {
 	n.peers["c"].vocabKnown = true // knows its vocabulary: empty
 	n.mu.Unlock()
 
-	res := n.RouteEvent(xmltree.MustParse(`<t:ping xmlns:t="` + testNS + `" x="1"/>`))
+	res := n.RouteEvent("", xmltree.MustParse(`<t:ping xmlns:t="` + testNS + `" x="1"/>`))
 	if len(res.Forwarded) != 1 || res.Forwarded[0] != "b" {
 		t.Fatalf("Forwarded = %v, want [b]", res.Forwarded)
 	}
@@ -226,7 +226,7 @@ func TestRouteEventByVocabulary(t *testing.T) {
 	}
 
 	// No peer matches: the event stays local so it is never dropped.
-	res = n.RouteEvent(xmltree.MustParse(`<t:nobody xmlns:t="` + testNS + `"/>`))
+	res = n.RouteEvent("", xmltree.MustParse(`<t:nobody xmlns:t="` + testNS + `"/>`))
 	if !res.Local || len(res.Forwarded) != 0 {
 		t.Errorf("unmatched event route = %+v, want local only", res)
 	}
@@ -241,7 +241,7 @@ func TestRouteEventConservativeBeforeFirstProbe(t *testing.T) {
 
 	// Vocabulary unknown everywhere: forward to every up peer rather than
 	// risk losing the event.
-	res := n.RouteEvent(xmltree.MustParse(`<t:ping xmlns:t="` + testNS + `"/>`))
+	res := n.RouteEvent("", xmltree.MustParse(`<t:ping xmlns:t="` + testNS + `"/>`))
 	if len(res.Forwarded) != 2 {
 		t.Errorf("Forwarded = %v, want both peers", res.Forwarded)
 	}
@@ -263,7 +263,7 @@ func TestRouteEventShedAfterRetry(t *testing.T) {
 	n.peers["c"].vocabKnown = true
 	n.mu.Unlock()
 
-	res := n.RouteEvent(xmltree.MustParse(`<t:ping xmlns:t="` + testNS + `"/>`))
+	res := n.RouteEvent("", xmltree.MustParse(`<t:ping xmlns:t="` + testNS + `"/>`))
 	if len(res.Shed) != 1 || res.Shed[0] != "b" {
 		t.Fatalf("Shed = %v, want [b]", res.Shed)
 	}
@@ -285,10 +285,10 @@ func TestForwardRulePeerDown(t *testing.T) {
 	n.peers["b"].up = false
 	n.mu.Unlock()
 
-	if _, _, err := n.ForwardRule(pingRule("r1"), "b"); !errors.Is(err, ErrPeerDown) {
+	if _, _, err := n.ForwardRule("", pingRule("r1"), "b"); !errors.Is(err, ErrPeerDown) {
 		t.Errorf("forward to down peer: err = %v, want ErrPeerDown", err)
 	}
-	if _, _, err := n.ForwardRule(pingRule("r1"), "ghost"); err == nil {
+	if _, _, err := n.ForwardRule("", pingRule("r1"), "ghost"); err == nil {
 		t.Error("forward to unknown owner accepted")
 	}
 }
@@ -304,7 +304,7 @@ func TestForwardRuleLearnsVocabulary(t *testing.T) {
 	n.peers["c"].vocabKnown = true
 	n.mu.Unlock()
 
-	status, _, err := n.ForwardRule(pingRule("r1"), "b")
+	status, _, err := n.ForwardRule("", pingRule("r1"), "b")
 	if err != nil || status != http.StatusCreated {
 		t.Fatalf("ForwardRule = %d, %v", status, err)
 	}
@@ -318,7 +318,7 @@ func TestForwardRuleLearnsVocabulary(t *testing.T) {
 
 	// The owner's new vocabulary is routable immediately, before the next
 	// probe refreshes it.
-	res := n.RouteEvent(xmltree.MustParse(`<t:ping xmlns:t="` + testNS + `"/>`))
+	res := n.RouteEvent("", xmltree.MustParse(`<t:ping xmlns:t="` + testNS + `"/>`))
 	if len(res.Forwarded) != 1 || res.Forwarded[0] != "b" {
 		t.Errorf("Forwarded = %v, want [b] via learned vocabulary", res.Forwarded)
 	}
@@ -446,13 +446,13 @@ func TestShipAndTakeover(t *testing.T) {
 		}
 	)
 	f, err := New(Options{NodeID: "b", Peers: peers, ReplicateTo: "none"}, Hooks{
-		RegisterRecovered: func(id string, doc *xmltree.Node, at time.Time) error {
+		RegisterRecovered: func(tenant, id string, doc *xmltree.Node, at time.Time) error {
 			recovered.Lock()
 			defer recovered.Unlock()
 			recovered.rules = append(recovered.rules, id)
 			return nil
 		},
-		PublishRecovered: func(doc *xmltree.Node) error {
+		PublishRecovered: func(tenant string, doc *xmltree.Node) error {
 			recovered.Lock()
 			defer recovered.Unlock()
 			recovered.events = append(recovered.events, doc.Root().Name.Local)

@@ -126,7 +126,7 @@ func (n *Node) maybeTakeover(id string) {
 
 	tr := n.hub.Traces().Begin("cluster:takeover:" + id)
 	start := time.Now()
-	stats, err := rep.Recover(n.hooks.RegisterRecovered, n.hooks.PublishRecovered)
+	stats, err := rep.RecoverTenants(n.hooks.RegisterRecovered, n.hooks.PublishRecovered)
 	rules, events := rep.Counts()
 	tr.AddSpan(obs.Span{Stage: "takeover", Component: id, Mode: "cluster",
 		TuplesIn: rules + events, TuplesOut: stats.Rules + stats.Events,

@@ -75,6 +75,7 @@ type Engine struct {
 	grh      *grh.GRH
 	analyzer ruleml.Analyzer
 	replyTo  string
+	tenant   string // wire form of the owning tenant; "" = default
 	log      Logger
 	slog     *obs.Logger
 	hub      *obs.Hub
@@ -123,30 +124,36 @@ func (lc lifecycle) observable() bool {
 // uninstrumented engine pays only nil receiver checks on the hot path.
 type metrics struct {
 	instances   *obs.CounterVec   // engine_instances{state=created|completed|died}
-	rules       *obs.Gauge        // engine_rules
+	rules       *obs.Gauge        // engine_rules{tenant}, bound to this engine's tenant
 	detections  *obs.Counter      // engine_detections_total
 	actionRuns  *obs.Counter      // engine_action_runs_total
 	instanceSec *obs.Histogram    // engine_instance_seconds
 	stepSec     *obs.HistogramVec // engine_step_seconds{kind}
-	queueDepth  *obs.Gauge        // engine_queue_depth
+	queueDepth  *obs.Gauge        // engine_queue_depth{tenant}, bound to this engine's tenant
 	queueWait   *obs.Histogram    // engine_queue_wait_seconds
-	lifecycle   *obs.HistogramVec // event_lifecycle_seconds{stage}
-	e2e         *obs.HistogramVec // event_e2e_seconds{rule}
+	lifecycle   *obs.HistogramVec // event_lifecycle_seconds{stage,tenant}
+	e2e         *obs.HistogramVec // event_e2e_seconds{rule,tenant}
 }
 
-func newMetrics(h *obs.Hub) metrics {
+// newMetrics registers the engine instruments. Counters are shared across
+// per-tenant engines (increments are additive), but the gauges would
+// clobber one another — each Set would overwrite the other tenants'
+// values — so engine_rules and engine_queue_depth carry a tenant label and
+// each engine binds its own child. The tenant label holds the wire form:
+// empty for the default tenant, keeping single-tenant scrapes unchanged.
+func newMetrics(h *obs.Hub, tenant string) metrics {
 	r := h.Metrics()
 	return metrics{
 		instances:   r.CounterVec("engine_instances", "Rule instances by life-cycle state (created, completed, died).", "state"),
-		rules:       r.Gauge("engine_rules", "Currently registered rules."),
+		rules:       r.GaugeVec("engine_rules", "Currently registered rules by tenant (empty label = default tenant).", "tenant").With(tenant),
 		detections:  r.Counter("engine_detections_total", "Event detection messages received."),
 		actionRuns:  r.Counter("engine_action_runs_total", "Action component dispatches."),
 		instanceSec: r.Histogram("engine_instance_seconds", "End-to-end rule-instance evaluation latency (detection to last action).", nil),
 		stepSec:     r.HistogramVec("engine_step_seconds", "Per-component evaluation latency by component kind.", nil, "kind"),
-		queueDepth:  r.Gauge("engine_queue_depth", "Rule instances waiting in the worker-pool queue."),
+		queueDepth:  r.GaugeVec("engine_queue_depth", "Rule instances waiting in the worker-pool queue, by tenant (empty label = default tenant).", "tenant").With(tenant),
 		queueWait:   r.Histogram("engine_queue_wait_seconds", "Time rule instances spend queued before a worker picks them up.", nil),
-		lifecycle:   r.HistogramVec("event_lifecycle_seconds", "Admitted-event latency by lifecycle stage: admit (admission to stream publish), detect (publish to engine receipt), dispatch (receipt through the query/test steps, queue wait included), action (action dispatch to ack). Completed instances only; the stages are contiguous, so their sums reconcile with event_e2e_seconds.", nil, "stage"),
-		e2e:         r.HistogramVec("event_e2e_seconds", "End-to-end admitted-event latency (admission to action ack) by rule. Completed instances only.", nil, "rule"),
+		lifecycle:   r.HistogramVec("event_lifecycle_seconds", "Admitted-event latency by lifecycle stage: admit (admission to stream publish), detect (publish to engine receipt), dispatch (receipt through the query/test steps, queue wait included), action (action dispatch to ack). Completed instances only; the stages are contiguous, so their sums reconcile with event_e2e_seconds.", nil, "stage", "tenant"),
+		e2e:         r.HistogramVec("event_e2e_seconds", "End-to-end admitted-event latency (admission to action ack) by rule. Completed instances only.", nil, "rule", "tenant"),
 	}
 }
 
@@ -172,6 +179,10 @@ type RuleInfo struct {
 	// Owner is the cluster node holding the rule; set by the serving layer
 	// on clustered deployments, absent (omitted) on single-node ones.
 	Owner string `json:"owner,omitempty"`
+	// Tenant is the namespace the rule belongs to, in wire form: absent
+	// (omitted) for the default tenant, so single-tenant listings are
+	// byte-identical to pre-tenant ones.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Option configures the engine.
@@ -183,6 +194,13 @@ func WithAnalyzer(a ruleml.Analyzer) Option { return func(e *Engine) { e.analyze
 // WithReplyTo sets the detection callback URL passed to remote event
 // services on registration.
 func WithReplyTo(url string) Option { return func(e *Engine) { e.replyTo = url } }
+
+// WithTenant scopes the engine to one tenant's rule space: the tenant
+// (in wire form — empty string means the default tenant) is stamped onto
+// every GRH dispatch, raised event, rule listing, trace and per-tenant
+// metric the engine produces. The zero value preserves pre-tenant
+// behaviour byte-for-byte.
+func WithTenant(tenant string) Option { return func(e *Engine) { e.tenant = tenant } }
 
 // WithLogger installs an evaluation trace logger.
 func WithLogger(l Logger) Option { return func(e *Engine) { e.log = l } }
@@ -234,7 +252,7 @@ func New(g *grh.GRH, opts ...Option) *Engine {
 	for _, o := range opts {
 		o(e)
 	}
-	e.met = newMetrics(e.hub)
+	e.met = newMetrics(e.hub, e.tenant)
 	e.tr = e.hub.Traces()
 	return e
 }
@@ -325,7 +343,7 @@ func (e *Engine) RuleInfos() []RuleInfo {
 	e.mu.Lock()
 	out := make([]RuleInfo, 0, len(e.rules))
 	for id, rs := range e.rules {
-		out = append(out, RuleInfo{ID: id, Registered: rs.Registered, Firings: rs.Firings, Died: rs.Died})
+		out = append(out, RuleInfo{ID: id, Registered: rs.Registered, Firings: rs.Firings, Died: rs.Died, Tenant: e.tenant})
 	}
 	e.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -401,6 +419,7 @@ func (e *Engine) Register(rule *ruleml.Rule) error {
 		Comp:     rule.Event,
 		Bindings: bindings.NewRelation(),
 		ReplyTo:  e.replyTo,
+		Tenant:   e.tenant,
 	})
 	if err != nil {
 		e.mu.Lock()
@@ -436,6 +455,7 @@ func (e *Engine) Unregister(id string) error {
 		Rule:     id,
 		Comp:     rs.Rule.Event,
 		Bindings: bindings.NewRelation(),
+		Tenant:   e.tenant,
 	})
 	return err
 }
@@ -483,6 +503,9 @@ func (e *Engine) OnDetection(a *protocol.Answer) {
 			}
 			e.met.instances.With("created").Inc()
 			tr := e.tr.Begin(a.RuleID)
+			if e.tenant != "" {
+				tr.SetTenant(e.tenant)
+			}
 			tr.AddSpan(obs.Span{
 				Stage:     string(ruleml.EventComponent),
 				Component: a.Component,
@@ -566,6 +589,7 @@ func (e *Engine) runInstance(rs *RuleState, rel *bindings.Relation, tr *obs.Inst
 			Comp:     action,
 			Bindings: rel,
 			Trace:    tr,
+			Tenant:   e.tenant,
 		})
 		sp.Duration = time.Since(sp.Start)
 		e.met.stepSec.With(string(ruleml.ActionComponent)).Observe(sp.Duration.Seconds())
@@ -630,10 +654,10 @@ func (e *Engine) observeLifecycle(ruleID string, tr *obs.Instance, lc lifecycle,
 	}
 	for _, s := range stages {
 		d := maxDuration(0, s.end.Sub(s.start))
-		e.met.lifecycle.With(s.name).ObserveExemplar(d.Seconds(), id)
+		e.met.lifecycle.With(s.name, e.tenant).ObserveExemplar(d.Seconds(), id)
 		span.Children = append(span.Children, obs.Span{Stage: s.name, Mode: "engine", Start: s.start, Duration: d})
 	}
-	e.met.e2e.With(ruleID).ObserveExemplar(span.Duration.Seconds(), id)
+	e.met.e2e.With(ruleID, e.tenant).ObserveExemplar(span.Duration.Seconds(), id)
 	tr.AddSpan(span)
 }
 
@@ -702,6 +726,7 @@ func (e *Engine) evalStep(rule *ruleml.Rule, step ruleml.Component, rel *binding
 		Comp:     step,
 		Bindings: input,
 		Trace:    tr,
+		Tenant:   e.tenant,
 	})
 	if err != nil {
 		return nil, err

@@ -31,6 +31,12 @@ type Event struct {
 	Seq        uint64
 	Time       time.Time
 	AdmittedAt time.Time
+	// Tenant is the namespace the event was published under. The empty
+	// string means the default tenant, so every pre-tenancy construction
+	// site (tests, recovery replay, act:raise on an unscoped executor)
+	// keeps its behaviour. Matching services filter on it: a rule only
+	// ever sees events published under its own tenant.
+	Tenant string
 }
 
 // New wraps an XML payload as an event occurrence with the current time;

@@ -71,15 +71,19 @@ func WithCache(p CachePolicy) Option {
 // --- cache key ---------------------------------------------------------------
 
 // cacheKey digests everything that determines a query/test answer under
-// the set-of-tuples semantics: the request kind, the component language
-// and kind, the serialized component expression (or the opaque text and
-// its pinned service), and the canonicalized input relation. The rule id
-// is deliberately absent — identical components of different rules share
-// answers; the requester's rule/component ids are stamped back onto
-// every copy served.
+// the set-of-tuples semantics: the tenant, the request kind, the
+// component language and kind, the serialized component expression (or
+// the opaque text and its pinned service), and the canonicalized input
+// relation. The rule id is deliberately absent — identical components of
+// different rules share answers; the requester's rule/component ids are
+// stamped back onto every copy served. The tenant is deliberately
+// present: tenants may back the same expression with different data, so
+// an answer computed for one tenant must never be served to another.
 func cacheKey(kind protocol.RequestKind, c Component) string {
 	h := sha256.New()
 	sep := []byte{0xff}
+	h.Write([]byte(c.Tenant))
+	h.Write(sep)
 	h.Write([]byte(kind))
 	h.Write(sep)
 	h.Write([]byte(c.Comp.Language))

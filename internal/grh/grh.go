@@ -307,6 +307,11 @@ type Component struct {
 	Rule     string
 	Comp     ruleml.Component
 	Bindings *bindings.Relation
+	// Tenant is the namespace the dispatch acts within (empty = default
+	// tenant). It rides on the request envelope so multi-tenant event
+	// services route registrations to the right tenant's space, and it
+	// partitions the answer cache.
+	Tenant string
 	// ReplyTo is the detection callback URL for event registrations
 	// handled by remote services.
 	ReplyTo string
@@ -352,6 +357,7 @@ func (g *GRH) dispatchDirect(kind protocol.RequestKind, c Component) (*protocol.
 		Language:  c.Comp.Language,
 		Bindings:  c.Bindings,
 		ReplyTo:   c.ReplyTo,
+		Tenant:    c.Tenant,
 	}
 	if c.Comp.Opaque {
 		// Directly addressed framework-unaware service (uri attribute)?

@@ -30,6 +30,9 @@ type tracesResponse struct {
 //	               rule instance
 //	?rule=<id>     filter by rule
 //	?state=<s>     filter by life-cycle state (running|completed|died)
+//	?tenant=<t>    filter by tenant (exact wire form: the empty value
+//	               selects the default tenant's traces; the serving layer
+//	               validates tenant names before delegating here)
 //	?limit=<n>     return at most n instances, newest first
 //	?pretty=1      indent the JSON (compact by default — trace dumps are
 //	               a hot scrape path)
@@ -50,6 +53,11 @@ func (h *Hub) TracesHandler() http.Handler {
 		}
 		rule := q.Get("rule")
 		state := q.Get("state")
+		tenantVals, byTenant := q["tenant"]
+		tenant := ""
+		if len(tenantVals) > 0 {
+			tenant = tenantVals[0]
+		}
 		all := h.Traces().Snapshot()
 		kept := make([]InstanceTrace, 0, len(all))
 		for _, t := range all {
@@ -57,6 +65,9 @@ func (h *Hub) TracesHandler() http.Handler {
 				continue
 			}
 			if state != "" && t.State != state {
+				continue
+			}
+			if byTenant && t.Tenant != tenant {
 				continue
 			}
 			kept = append(kept, t)

@@ -50,6 +50,9 @@ type InstanceTrace struct {
 	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"duration_ns"`
 	Spans    []Span        `json:"spans"`
+	// Tenant is the namespace the rule belongs to; empty (omitted) for
+	// the default tenant, keeping single-tenant trace dumps unchanged.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Instance is a live rule-instance trace being appended to by the engine.
@@ -78,6 +81,18 @@ func (i *Instance) Finish(state string) {
 	i.mu.Lock()
 	i.data.State = state
 	i.data.Duration = time.Since(i.data.Start)
+	i.mu.Unlock()
+}
+
+// SetTenant stamps the namespace the instance's rule belongs to. The
+// engine calls it right after Begin, before the instance is visible to
+// any other goroutine's filters.
+func (i *Instance) SetTenant(tenant string) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	i.data.Tenant = tenant
 	i.mu.Unlock()
 }
 

@@ -37,6 +37,10 @@ const (
 	// ParentSpanHeader carries the client-side span the dispatch belongs
 	// to — the component id within the rule, e.g. "query[2]".
 	ParentSpanHeader = "X-ECA-Parent-Span"
+	// TenantHeader names the tenant a request acts within, on client
+	// calls (POST /engine/rules, POST /events) and on cluster
+	// forwarding hops alike. Absent means the node's default tenant.
+	TenantHeader = "X-ECA-Tenant"
 )
 
 // RequestKind enumerates the request envelopes the GRH sends to services.
@@ -75,6 +79,10 @@ type Request struct {
 	// ReplyTo is the URL detection answers should be posted to; only
 	// meaningful for RegisterEvent requests sent to remote services.
 	ReplyTo string
+	// Tenant is the namespace the request acts within. Empty means the
+	// default tenant, which keeps the wire format of tenant-unaware
+	// deployments byte-identical.
+	Tenant string
 }
 
 // AnswerRow is one <log:answer> element: a tuple of variable bindings plus
@@ -453,6 +461,9 @@ func EncodeRequest(r *Request) *xmltree.Node {
 	if r.ReplyTo != "" {
 		root.SetAttr("", "replyTo", r.ReplyTo)
 	}
+	if r.Tenant != "" {
+		root.SetAttr("", "tenant", r.Tenant)
+	}
 	expr := xmltree.NewElement(ECANS, "expression")
 	if r.Expression != nil {
 		expr.Append(r.Expression.Clone())
@@ -474,6 +485,7 @@ func DecodeRequest(n *xmltree.Node) (*Request, error) {
 		Component: n.AttrValue("", "component"),
 		Language:  n.AttrValue("", "language"),
 		ReplyTo:   n.AttrValue("", "replyTo"),
+		Tenant:    n.AttrValue("", "tenant"),
 		Bindings:  bindings.NewRelation(),
 	}
 	switch r.Kind {

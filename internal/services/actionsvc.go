@@ -54,7 +54,7 @@ func (a *ActionExecutor) Handle(req *protocol.Request) (*protocol.Answer, error)
 		return nil, fmt.Errorf("actiond: action component without expression")
 	}
 	for _, t := range req.Bindings.Tuples() {
-		if err := a.execute(req.Expression, t); err != nil {
+		if err := a.execute(req.Expression, req.Tenant, t); err != nil {
 			return nil, fmt.Errorf("actiond: %w", err)
 		}
 		a.mu.Lock()
@@ -64,7 +64,7 @@ func (a *ActionExecutor) Handle(req *protocol.Request) (*protocol.Answer, error)
 	return protocol.NewAnswer(req.RuleID, req.Component, req.Bindings), nil
 }
 
-func (a *ActionExecutor) execute(expr *xmltree.Node, t bindings.Tuple) error {
+func (a *ActionExecutor) execute(expr *xmltree.Node, tenant string, t bindings.Tuple) error {
 	switch {
 	case expr.Name.Space == ActionNS && expr.Name.Local == "raise":
 		kids := expr.ChildElements()
@@ -79,7 +79,11 @@ func (a *ActionExecutor) execute(expr *xmltree.Node, t bindings.Tuple) error {
 		// stream dispatch) and must not wait for itself; on a worker-pool
 		// engine a blocking publish could deadlock against a full worker
 		// queue whose workers are themselves waiting to publish.
-		a.stream.PublishDetached(events.New(Instantiate(kids[0], t)))
+		// The raised event stays in the raising rule's tenant, so a rule
+		// can trigger rules of its own tenant but never another's.
+		ev := events.New(Instantiate(kids[0], t))
+		ev.Tenant = tenant
+		a.stream.PublishDetached(ev)
 		return nil
 	case expr.Name.Space == ActionNS && expr.Name.Local == "send":
 		kids := expr.ChildElements()

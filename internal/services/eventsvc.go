@@ -18,7 +18,9 @@ import (
 type DetectorOption func(*detectorOpts)
 
 type detectorOpts struct {
-	pool *DetectorPool
+	pool       *DetectorPool
+	tenant     string
+	tenantOnly bool
 }
 
 // WithDetectorPool shards the service's detectors across the pool's
@@ -32,6 +34,17 @@ func WithDetectorPool(p *DetectorPool) DetectorOption {
 	return func(o *detectorOpts) { o.pool = p }
 }
 
+// WithTenantFilter restricts the service to events published under one
+// tenant: events whose Tenant differs are ignored before any detector
+// state is touched (SNOOP detectors are stateful and order-sensitive, so
+// cross-tenant events must never feed them). The empty string is a valid
+// filter — it is the default tenant's wire form, which also matches
+// events published by tenant-unaware code. Services built without this
+// option observe every event, the pre-tenancy behaviour.
+func WithTenantFilter(tenant string) DetectorOption {
+	return func(o *detectorOpts) { o.tenant, o.tenantOnly = tenant, true }
+}
+
 // EventMatcher is the Atomic Event Matcher service of Section 4.2: rule
 // event components consisting of a single atomic event pattern are
 // registered here; every matching event on the stream produces a detection
@@ -42,11 +55,13 @@ func WithDetectorPool(p *DetectorPool) DetectorOption {
 // rule key), so matching and delivery parallelize across partitions while
 // each pattern still sees the stream in order.
 type EventMatcher struct {
-	matchers []*events.Matcher // one per partition; [0] only when inline
-	pool     *DetectorPool     // nil = inline evaluation on the stream goroutine
-	deliver  *Deliverer
-	mu       sync.Mutex
-	cancel   func()
+	matchers   []*events.Matcher // one per partition; [0] only when inline
+	pool       *DetectorPool     // nil = inline evaluation on the stream goroutine
+	deliver    *Deliverer
+	tenant     string // accepted event tenant when tenantOnly
+	tenantOnly bool
+	mu         sync.Mutex
+	cancel     func()
 }
 
 // NewEventMatcher creates the service and subscribes it to the stream.
@@ -55,7 +70,7 @@ func NewEventMatcher(stream *events.Stream, deliver *Deliverer, opts ...Detector
 	for _, opt := range opts {
 		opt(&o)
 	}
-	m := &EventMatcher{deliver: deliver, pool: o.pool}
+	m := &EventMatcher{deliver: deliver, pool: o.pool, tenant: o.tenant, tenantOnly: o.tenantOnly}
 	n := 1
 	if m.pool != nil {
 		n = m.pool.Workers()
@@ -73,6 +88,9 @@ func NewEventMatcher(stream *events.Stream, deliver *Deliverer, opts ...Detector
 // order and partitionWorker queues preserve enqueue order, so every
 // pattern observes a totally ordered feed.
 func (m *EventMatcher) onEvent(ev events.Event) {
+	if m.tenantOnly && ev.Tenant != m.tenant {
+		return
+	}
 	if m.pool == nil {
 		m.matchers[0].OnEvent(ev)
 		return
@@ -189,8 +207,10 @@ func (e *snoopEntry) pendingDeliveries() []*protocol.Answer {
 // the same worker queues). The service-wide mutex guards only the
 // registry; it is never held across Feed or delivery.
 type SnoopService struct {
-	deliver *Deliverer
-	pool    *DetectorPool // nil = inline evaluation on the stream goroutine
+	deliver    *Deliverer
+	pool       *DetectorPool // nil = inline evaluation on the stream goroutine
+	tenant     string        // accepted event tenant when tenantOnly
+	tenantOnly bool
 
 	mu       sync.Mutex // registry only: dets, byWorker, hub, cancel
 	dets     map[string]*snoopEntry
@@ -208,7 +228,7 @@ func NewSnoopService(stream *events.Stream, deliver *Deliverer, opts ...Detector
 	for _, opt := range opts {
 		opt(&o)
 	}
-	s := &SnoopService{deliver: deliver, pool: o.pool, dets: map[string]*snoopEntry{}}
+	s := &SnoopService{deliver: deliver, pool: o.pool, tenant: o.tenant, tenantOnly: o.tenantOnly, dets: map[string]*snoopEntry{}}
 	n := 1
 	if s.pool != nil {
 		n = s.pool.Workers()
@@ -270,6 +290,9 @@ func (s *SnoopService) feedEntries(entries []*snoopEntry, step func(*snoop.Detec
 }
 
 func (s *SnoopService) onEvent(ev events.Event) {
+	if s.tenantOnly && ev.Tenant != s.tenant {
+		return
+	}
 	s.lastSeq.Store(ev.Seq)
 	if s.pool == nil {
 		entries := s.partition(0)

@@ -44,6 +44,11 @@ type record struct {
 	// Doc is the XML document verbatim: the full ECA-ML rule document for
 	// register records, the event payload for event records.
 	Doc string `json:"doc,omitempty"`
+	// Tenant is the namespace the rule or event belongs to, in wire form:
+	// absent (omitted) for the default tenant, so journals written by
+	// single-tenant deployments — and by every pre-tenant release — are
+	// byte-identical and replay into the default rule space.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Frame layout: a fixed 8-byte header — payload length then IEEE CRC32 of

@@ -69,7 +69,7 @@ func (s *Store) ReplicationState() (frames [][]byte, seq uint64, err error) {
 	defer s.mu.Unlock()
 	for _, id := range s.ruleOrder {
 		r := s.rules[id]
-		f, err := encodeRecord(record{Kind: KindRegister, Time: r.Registered, Rule: r.ID, Doc: r.Doc})
+		f, err := encodeRecord(record{Kind: KindRegister, Time: r.Registered, Rule: r.ID, Doc: r.Doc, Tenant: r.Tenant})
 		if err != nil {
 			return nil, 0, fmt.Errorf("store: replication state: %w", err)
 		}
@@ -77,7 +77,7 @@ func (s *Store) ReplicationState() (frames [][]byte, seq uint64, err error) {
 	}
 	for _, id := range s.eventOrderLocked() {
 		e := s.events[id]
-		f, err := encodeRecord(record{Kind: KindEvent, Time: e.Accepted, Event: e.ID, Doc: e.Doc})
+		f, err := encodeRecord(record{Kind: KindEvent, Time: e.Accepted, Event: e.ID, Doc: e.Doc, Tenant: e.Tenant})
 		if err != nil {
 			return nil, 0, fmt.Errorf("store: replication state: %w", err)
 		}
@@ -214,36 +214,55 @@ func decodeRecord(payload []byte) (record, error) {
 func (r *Replica) applyLocked(rec record) {
 	switch rec.Kind {
 	case KindRegister:
-		if _, live := r.rules[rec.Rule]; !live {
-			r.ruleOrder = append(r.ruleOrder, rec.Rule)
+		k := ruleKey(rec.Tenant, rec.Rule)
+		if _, live := r.rules[k]; !live {
+			r.ruleOrder = append(r.ruleOrder, k)
 		}
-		r.rules[rec.Rule] = ruleEntry{ID: rec.Rule, Doc: rec.Doc, Registered: rec.Time}
+		r.rules[k] = ruleEntry{ID: rec.Rule, Doc: rec.Doc, Registered: rec.Time, Tenant: rec.Tenant}
 	case KindUnregister:
-		if _, live := r.rules[rec.Rule]; live {
-			delete(r.rules, rec.Rule)
+		k := ruleKey(rec.Tenant, rec.Rule)
+		if _, live := r.rules[k]; live {
+			delete(r.rules, k)
 			for i, id := range r.ruleOrder {
-				if id == rec.Rule {
+				if id == k {
 					r.ruleOrder = append(r.ruleOrder[:i], r.ruleOrder[i+1:]...)
 					break
 				}
 			}
 		}
 	case KindEvent:
-		r.events[rec.Event] = eventEntry{ID: rec.Event, Doc: rec.Doc, Accepted: rec.Time}
+		r.events[rec.Event] = eventEntry{ID: rec.Event, Doc: rec.Doc, Accepted: rec.Time, Tenant: rec.Tenant}
 	case KindEventAck:
 		delete(r.events, rec.Event)
 	}
 }
 
-// Recover replays the mirror through the caller's registration and
-// publication paths — the same two-phase shape as Store.Recover: rules in
-// registration order first, then orphaned events, skipping records that
-// fail to parse or register. The cluster layer calls this on takeover when
-// the replica's primary is declared dead. The mirror is left intact so a
-// status endpoint can keep reporting what was taken over.
+// Recover replays the mirror through tenant-blind callbacks, dropping the
+// tenant each record was journaled under; see RecoverTenants for the
+// tenant-aware takeover path the cluster layer uses.
 func (r *Replica) Recover(
 	register func(id string, doc *xmltree.Node, registered time.Time) error,
 	publish func(doc *xmltree.Node) error,
+) (RecoveryStats, error) {
+	return r.RecoverTenants(
+		func(_, id string, doc *xmltree.Node, registered time.Time) error {
+			return register(id, doc, registered)
+		},
+		func(_ string, doc *xmltree.Node) error { return publish(doc) },
+	)
+}
+
+// RecoverTenants replays the mirror through the caller's registration and
+// publication paths — the same two-phase shape as Store.RecoverTenants:
+// rules in registration order first, then orphaned events, each with the
+// tenant it was journaled under, skipping records that fail to parse or
+// register. The cluster layer calls this on takeover when the replica's
+// primary is declared dead, so each tenant's rules and events land in
+// that tenant's space on the surviving node. The mirror is left intact so
+// a status endpoint can keep reporting what was taken over.
+func (r *Replica) RecoverTenants(
+	register func(tenant, id string, doc *xmltree.Node, registered time.Time) error,
+	publish func(tenant string, doc *xmltree.Node) error,
 ) (RecoveryStats, error) {
 	r.mu.Lock()
 	rules := make([]ruleEntry, 0, len(r.ruleOrder))
@@ -265,7 +284,7 @@ func (r *Replica) Recover(
 	for _, e := range rules {
 		doc, err := xmltree.ParseString(e.Doc)
 		if err == nil {
-			err = register(e.ID, doc, e.Registered)
+			err = register(e.Tenant, e.ID, doc, e.Registered)
 		}
 		if err != nil {
 			stats.Skipped++
@@ -276,7 +295,7 @@ func (r *Replica) Recover(
 	for _, e := range events {
 		doc, err := xmltree.ParseString(e.Doc)
 		if err == nil {
-			err = publish(doc)
+			err = publish(e.Tenant, doc)
 		}
 		if err != nil {
 			stats.Skipped++

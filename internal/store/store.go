@@ -79,6 +79,7 @@ type ruleEntry struct {
 	ID         string    `json:"id"`
 	Doc        string    `json:"doc"`
 	Registered time.Time `json:"registered"`
+	Tenant     string    `json:"tenant,omitempty"`
 }
 
 // eventEntry is one accepted event not yet dispatched into the engine.
@@ -86,6 +87,19 @@ type eventEntry struct {
 	ID       uint64    `json:"id"`
 	Doc      string    `json:"doc"`
 	Accepted time.Time `json:"accepted"`
+	Tenant   string    `json:"tenant,omitempty"`
+}
+
+// ruleKey is the mirror's map key for one rule: rule ids are assigned per
+// tenant space (two tenants each own a "rule-1"), so the key composes the
+// tenant's wire form with the id. The default tenant keys by bare id,
+// matching every record a pre-tenant journal can contain. \x00 cannot
+// appear in a tenant slug, so keys never collide across tenants.
+func ruleKey(tenant, id string) string {
+	if tenant == "" {
+		return id
+	}
+	return tenant + "\x00" + id
 }
 
 // snapshotPayload is the snapshot file's JSON body (wrapped in one frame).
@@ -247,8 +261,9 @@ func (s *Store) loadSnapshot() {
 	}
 	s.eventSeq = snap.EventSeq
 	for _, r := range snap.Rules {
-		s.rules[r.ID] = r
-		s.ruleOrder = append(s.ruleOrder, r.ID)
+		k := ruleKey(r.Tenant, r.ID)
+		s.rules[k] = r
+		s.ruleOrder = append(s.ruleOrder, k)
 	}
 	for _, e := range snap.Events {
 		s.events[e.ID] = e
@@ -307,20 +322,22 @@ func (s *Store) openJournal() (int, error) {
 func (s *Store) apply(rec record) {
 	switch rec.Kind {
 	case KindRegister:
-		if _, live := s.rules[rec.Rule]; !live {
-			s.ruleOrder = append(s.ruleOrder, rec.Rule)
+		k := ruleKey(rec.Tenant, rec.Rule)
+		if _, live := s.rules[k]; !live {
+			s.ruleOrder = append(s.ruleOrder, k)
 		}
-		s.rules[rec.Rule] = ruleEntry{ID: rec.Rule, Doc: rec.Doc, Registered: rec.Time}
+		s.rules[k] = ruleEntry{ID: rec.Rule, Doc: rec.Doc, Registered: rec.Time, Tenant: rec.Tenant}
 	case KindUnregister:
-		if _, live := s.rules[rec.Rule]; live {
-			delete(s.rules, rec.Rule)
-			s.dropOrder(rec.Rule)
+		k := ruleKey(rec.Tenant, rec.Rule)
+		if _, live := s.rules[k]; live {
+			delete(s.rules, k)
+			s.dropOrder(k)
 		}
 	case KindEvent:
 		if rec.Event > s.eventSeq {
 			s.eventSeq = rec.Event
 		}
-		s.events[rec.Event] = eventEntry{ID: rec.Event, Doc: rec.Doc, Accepted: rec.Time}
+		s.events[rec.Event] = eventEntry{ID: rec.Event, Doc: rec.Doc, Accepted: rec.Time, Tenant: rec.Tenant}
 	case KindEventAck:
 		delete(s.events, rec.Event)
 	default:
@@ -341,11 +358,22 @@ func (s *Store) dropOrder(id string) {
 
 // --- runtime appends ---------------------------------------------------------------
 
-// RuleRegistered journals a successful rule registration. doc is the full
-// ECA-ML rule document; a nil doc (a rule built programmatically rather
-// than parsed) cannot be made durable and is logged and skipped. Implements
-// the engine's Journal hook.
+// RuleRegistered journals a successful rule registration in the default
+// tenant's space. doc is the full ECA-ML rule document; a nil doc (a rule
+// built programmatically rather than parsed) cannot be made durable and is
+// logged and skipped. Implements the engine's Journal hook; non-default
+// tenants journal through Scoped.
 func (s *Store) RuleRegistered(id string, doc *xmltree.Node, at time.Time) {
+	s.ruleRegistered("", id, doc, at)
+}
+
+// RuleUnregistered journals a rule withdrawal from the default tenant's
+// space. Implements the engine's Journal hook.
+func (s *Store) RuleUnregistered(id string) {
+	s.ruleUnregistered("", id)
+}
+
+func (s *Store) ruleRegistered(tenant, id string, doc *xmltree.Node, at time.Time) {
 	if s == nil {
 		return
 	}
@@ -359,16 +387,15 @@ func (s *Store) RuleRegistered(id string, doc *xmltree.Node, at time.Time) {
 	if s.recovering || s.closed {
 		return
 	}
-	if _, live := s.rules[id]; !live {
-		s.ruleOrder = append(s.ruleOrder, id)
+	k := ruleKey(tenant, id)
+	if _, live := s.rules[k]; !live {
+		s.ruleOrder = append(s.ruleOrder, k)
 	}
-	s.rules[id] = ruleEntry{ID: id, Doc: doc.String(), Registered: at}
-	s.appendLocked(record{Kind: KindRegister, Time: at, Rule: id, Doc: doc.String()})
+	s.rules[k] = ruleEntry{ID: id, Doc: doc.String(), Registered: at, Tenant: tenant}
+	s.appendLocked(record{Kind: KindRegister, Time: at, Rule: id, Doc: doc.String(), Tenant: tenant})
 }
 
-// RuleUnregistered journals a rule withdrawal. Implements the engine's
-// Journal hook.
-func (s *Store) RuleUnregistered(id string) {
+func (s *Store) ruleUnregistered(tenant, id string) {
 	if s == nil {
 		return
 	}
@@ -377,15 +404,53 @@ func (s *Store) RuleUnregistered(id string) {
 	if s.recovering || s.closed {
 		return
 	}
-	delete(s.rules, id)
-	s.dropOrder(id)
-	s.appendLocked(record{Kind: KindUnregister, Time: time.Now(), Rule: id})
+	k := ruleKey(tenant, id)
+	delete(s.rules, k)
+	s.dropOrder(k)
+	s.appendLocked(record{Kind: KindUnregister, Time: time.Now(), Rule: id, Tenant: tenant})
 }
 
-// AppendEvent journals an accepted atomic event before it is dispatched
-// into the engine, returning the store-local event id to acknowledge with
-// AckEvent once dispatch completes. Events accepted but never acked are
-// re-enqueued by crash recovery.
+// TenantJournal is a Store view scoped to one tenant's rule space: rule
+// life-cycle records it writes carry the tenant, so recovery can rebuild
+// each tenant's space separately. It implements the engine's Journal hook;
+// each per-tenant engine gets its own scoped view over the shared store.
+// All methods are nil-safe.
+type TenantJournal struct {
+	s      *Store
+	tenant string
+}
+
+// Scoped returns the store's journal view for one tenant (wire form: the
+// empty string is the default tenant, equivalent to the Store's own
+// RuleRegistered/RuleUnregistered). A nil store yields a nil, still-safe
+// view.
+func (s *Store) Scoped(tenant string) *TenantJournal {
+	if s == nil {
+		return nil
+	}
+	return &TenantJournal{s: s, tenant: tenant}
+}
+
+// RuleRegistered journals a registration in the scoped tenant's space.
+func (j *TenantJournal) RuleRegistered(id string, doc *xmltree.Node, at time.Time) {
+	if j == nil {
+		return
+	}
+	j.s.ruleRegistered(j.tenant, id, doc, at)
+}
+
+// RuleUnregistered journals a withdrawal from the scoped tenant's space.
+func (j *TenantJournal) RuleUnregistered(id string) {
+	if j == nil {
+		return
+	}
+	j.s.ruleUnregistered(j.tenant, id)
+}
+
+// AppendEvent journals an accepted atomic event of the default tenant
+// before it is dispatched into the engine, returning the store-local event
+// id to acknowledge with AckEvent once dispatch completes. Events accepted
+// but never acked are re-enqueued by crash recovery.
 func (s *Store) AppendEvent(doc *xmltree.Node) (uint64, error) {
 	if s == nil || doc == nil {
 		return 0, nil
@@ -406,13 +471,22 @@ func (s *Store) AppendEvent(doc *xmltree.Node) (uint64, error) {
 	return id, nil
 }
 
-// AppendEventBatch journals a batch of accepted atomic events under a
-// single lock acquisition — and, under FsyncAlways, a single fsync for the
-// whole batch — returning one store-local id per event, in order. This is
-// the durability half of batched admission: N events cost one mutex
-// round-trip and one disk flush instead of N. Ids are acknowledged with
-// AckEvents once the batch has been dispatched.
+// AppendEventBatch journals a batch of accepted atomic events of the
+// default tenant; see AppendEventBatchTenant.
 func (s *Store) AppendEventBatch(docs []*xmltree.Node) ([]uint64, error) {
+	return s.AppendEventBatchTenant("", docs)
+}
+
+// AppendEventBatchTenant journals a batch of accepted atomic events for
+// one tenant under a single lock acquisition — and, under FsyncAlways, a
+// single fsync for the whole batch — returning one store-local id per
+// event, in order. This is the durability half of batched admission: N
+// events cost one mutex round-trip and one disk flush instead of N.
+// Batch envelopes are single-tenant, so one tenant per call suffices; the
+// tenant (wire form, "" = default) rides on each event record so recovery
+// republishes it into the right space. Ids are acknowledged with AckEvents
+// once the batch has been dispatched.
+func (s *Store) AppendEventBatchTenant(tenant string, docs []*xmltree.Node) ([]uint64, error) {
 	if s == nil || len(docs) == 0 {
 		return make([]uint64, len(docs)), nil
 	}
@@ -430,8 +504,8 @@ func (s *Store) AppendEventBatch(docs []*xmltree.Node) ([]uint64, error) {
 		}
 		s.eventSeq++
 		id := s.eventSeq
-		s.events[id] = eventEntry{ID: id, Doc: doc.String(), Accepted: now}
-		if err := s.appendRecordLocked(record{Kind: KindEvent, Time: now, Event: id, Doc: doc.String()}, false); err != nil {
+		s.events[id] = eventEntry{ID: id, Doc: doc.String(), Accepted: now, Tenant: tenant}
+		if err := s.appendRecordLocked(record{Kind: KindEvent, Time: now, Event: id, Doc: doc.String(), Tenant: tenant}, false); err != nil {
 			delete(s.events, id)
 			// The already-journaled prefix stays accepted; sync it so the
 			// caller's view (publish the prefix, fail the rest) matches disk.
@@ -679,6 +753,8 @@ type RecoveredRule struct {
 	ID         string
 	Doc        string
 	Registered time.Time
+	// Tenant is the owning namespace in wire form ("" = default tenant).
+	Tenant string
 }
 
 // RecoveredRules returns the live rules reconstructed by Open, in
@@ -692,7 +768,7 @@ func (s *Store) RecoveredRules() []RecoveredRule {
 	out := make([]RecoveredRule, 0, len(s.ruleOrder))
 	for _, id := range s.ruleOrder {
 		r := s.rules[id]
-		out = append(out, RecoveredRule{ID: r.ID, Doc: r.Doc, Registered: r.Registered})
+		out = append(out, RecoveredRule{ID: r.ID, Doc: r.Doc, Registered: r.Registered, Tenant: r.Tenant})
 	}
 	return out
 }
@@ -712,9 +788,30 @@ func (s *Store) PendingEvents() []string {
 	return out
 }
 
-// Recover replays the reconstructed state into a running system: every
-// live rule document is parsed and handed to register (in registration
-// order), then every orphaned event is parsed and handed to publish. A
+// Recover replays the reconstructed state into a running system through
+// tenant-blind callbacks: every record replays as if it belonged to the
+// default tenant. Single-tenant deployments (and tests) use it; systems
+// with named tenants recover through RecoverTenants so each rule and
+// event lands in its own space.
+func (s *Store) Recover(
+	register func(id string, doc *xmltree.Node, registered time.Time) error,
+	publish func(doc *xmltree.Node) error,
+) (RecoveryStats, error) {
+	if s == nil {
+		return RecoveryStats{}, nil
+	}
+	return s.RecoverTenants(
+		func(_, id string, doc *xmltree.Node, registered time.Time) error {
+			return register(id, doc, registered)
+		},
+		func(_ string, doc *xmltree.Node) error { return publish(doc) },
+	)
+}
+
+// RecoverTenants replays the reconstructed state into a running system:
+// every live rule document is parsed and handed to register (in
+// registration order) with the tenant it was journaled under, then every
+// orphaned event is parsed and handed to publish with its tenant. A
 // record that fails to parse or re-register is dropped with a logged,
 // metered warning — recovery never aborts on bad data. Afterwards the
 // store snapshots and compacts, so the replayed events are not replayed
@@ -722,9 +819,9 @@ func (s *Store) PendingEvents() []string {
 //
 // Journal appends are suppressed while the callbacks run (the records
 // being replayed are already durable).
-func (s *Store) Recover(
-	register func(id string, doc *xmltree.Node, registered time.Time) error,
-	publish func(doc *xmltree.Node) error,
+func (s *Store) RecoverTenants(
+	register func(tenant, id string, doc *xmltree.Node, registered time.Time) error,
+	publish func(tenant string, doc *xmltree.Node) error,
 ) (RecoveryStats, error) {
 	if s == nil {
 		return RecoveryStats{}, nil
@@ -748,13 +845,13 @@ func (s *Store) Recover(
 	for _, r := range rules {
 		doc, err := xmltree.ParseString(r.Doc)
 		if err == nil {
-			err = register(r.ID, doc, r.Registered)
+			err = register(r.Tenant, r.ID, doc, r.Registered)
 		}
 		if err != nil {
 			stats.Skipped++
 			s.met.recSkip.Inc()
-			s.warn("recovered rule skipped", "rule", r.ID, "error", err.Error(), "doc", r.Doc)
-			dead = append(dead, r.ID)
+			s.warn("recovered rule skipped", "rule", r.ID, "tenant", r.Tenant, "error", err.Error(), "doc", r.Doc)
+			dead = append(dead, ruleKey(r.Tenant, r.ID))
 			continue
 		}
 		stats.Rules++
@@ -767,12 +864,12 @@ func (s *Store) Recover(
 	for _, e := range events {
 		doc, err := xmltree.ParseString(e.Doc)
 		if err == nil {
-			err = publish(doc)
+			err = publish(e.Tenant, doc)
 		}
 		if err != nil {
 			stats.Skipped++
 			s.met.recSkip.Inc()
-			s.warn("recovered event skipped", "event", e.ID, "error", err.Error(), "doc", e.Doc)
+			s.warn("recovered event skipped", "event", e.ID, "tenant", e.Tenant, "error", err.Error(), "doc", e.Doc)
 			continue
 		}
 		stats.Events++

@@ -108,7 +108,7 @@ func admitEvents(t *testing.T, mode string, n int) admitOutcome {
 	}
 	sort.Strings(out.fired)
 	reg := hub.Metrics()
-	out.admitted = reg.Counter("events_admitted_total", "").Value()
+	out.admitted = reg.CounterVec("events_admitted_total", "", "tenant").With("").Value()
 	for _, kind := range []string{store.KindEvent, store.KindEventAck} {
 		out.journal[kind] = reg.CounterVec("store_journal_records_total", "", "kind").With(kind).Value()
 	}

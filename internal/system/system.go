@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/services"
 	"repro/internal/snoop"
 	"repro/internal/store"
+	"repro/internal/tenant"
 	"repro/internal/xmltree"
 )
 
@@ -150,6 +152,16 @@ type Config struct {
 	// holding admission slots — so sustained detector overload surfaces as
 	// -max-pending-events 429s. Only meaningful with DetectorPartitions.
 	PartitionQueue int
+	// DefaultTenant names the tenant every tenant-less request resolves
+	// to; tenant.Default ("public") when empty. The default tenant's
+	// internal wire form is the empty string, which keeps journals,
+	// protocol documents and metric labels byte-identical with
+	// deployments that never name a tenant. See docs/MULTITENANCY.md.
+	DefaultTenant string
+	// TenantQuotas declares per-tenant quotas up front, keyed by tenant
+	// id; the key "*" sets the quotas every undeclared tenant gets on
+	// first use. A zero quota field means unlimited.
+	TenantQuotas map[string]tenant.Quotas
 }
 
 // System is one wired deployment of the architecture.
@@ -161,19 +173,30 @@ type System struct {
 	Notifier *Notifier
 	Obs      *obs.Hub
 	Log      *obs.Logger
-	Durable  *store.Store  // nil when the deployment is in-memory only
-	Cluster  *cluster.Node // nil when the deployment is single-node
+	Durable  *store.Store     // nil when the deployment is in-memory only
+	Cluster  *cluster.Node    // nil when the deployment is single-node
+	Tenants  *tenant.Registry // tenant set; always non-nil after NewLocal
 
 	pprof      bool
 	eventSlots chan struct{}          // admission semaphore for POST /events; nil = unlimited
 	maxPending int                    // cap of eventSlots; 0 = unlimited
 	pool       *services.DetectorPool // nil = inline detection
 
-	metAdmitted  *obs.Counter   // events_admitted_total
-	metShed      *obs.Counter   // events_shed_total
-	metPending   *obs.Gauge     // events_pending
-	metBatchSize *obs.Histogram // events_batch_size
+	tenantMu   sync.Mutex
+	spaces     map[string]*Space         // per-tenant rule spaces, keyed by wire form ("" = default)
+	engineBase []engine.Option           // options every space's engine is built from
+	detBase    []services.DetectorOption // options every space's detectors are built from
+	matcherSvc grh.Service               // tenant router over the per-space matchers
+	snoopSvc   grh.Service               // tenant router over the per-space SNOOP services
 
+	metAdmitted  *obs.CounterVec // events_admitted_total{tenant}
+	metShed      *obs.CounterVec // events_shed_total{tenant,reason}
+	metPending   *obs.Gauge      // events_pending
+	metBatchSize *obs.Histogram  // events_batch_size
+
+	// Matcher and Snoop (like Engine above) alias the default tenant's
+	// space — the historical single-tenant surface most tests and the
+	// quickstart use. Other tenants' components live in their Space.
 	Matcher *services.EventMatcher
 	Snoop   *services.SnoopService
 	XQuery  *services.XQueryService
@@ -203,25 +226,41 @@ func NewLocal(cfg Config) (*System, error) {
 	if cfg.Trace != nil {
 		s.GRH.SetTrace(cfg.Trace)
 	}
+	tenants, err := tenant.NewRegistry(cfg.DefaultTenant)
+	if err != nil {
+		return nil, fmt.Errorf("system: %w", err)
+	}
+	quotaIDs := make([]string, 0, len(cfg.TenantQuotas))
+	for id := range cfg.TenantQuotas {
+		quotaIDs = append(quotaIDs, id)
+	}
+	sort.Strings(quotaIDs)
+	for _, id := range quotaIDs {
+		if err := tenants.Declare(id, cfg.TenantQuotas[id]); err != nil {
+			return nil, fmt.Errorf("system: tenant quotas: %w", err)
+		}
+	}
+	s.Tenants = tenants
+	s.spaces = make(map[string]*Space)
 	compilecache.Default.SetObs(cfg.Obs)
-	engineOpts := []engine.Option{engine.WithObs(cfg.Obs), engine.WithLog(cfg.Log)}
+	s.engineBase = []engine.Option{engine.WithObs(cfg.Obs), engine.WithLog(cfg.Log)}
 	if cfg.Logger != nil {
-		engineOpts = append(engineOpts, engine.WithLogger(cfg.Logger))
+		s.engineBase = append(s.engineBase, engine.WithLogger(cfg.Logger))
 	}
-	if cfg.Store != nil {
-		engineOpts = append(engineOpts, engine.WithJournal(cfg.Store))
-	}
-	s.Engine = engine.New(s.GRH, engineOpts...)
-	deliver := &services.Deliverer{Local: s.Engine.OnDetection, Obs: cfg.Obs}
-
-	var detOpts []services.DetectorOption
 	if cfg.DetectorPartitions > 0 {
 		s.pool = services.NewDetectorPool(cfg.DetectorPartitions, cfg.PartitionQueue, cfg.Obs)
-		detOpts = append(detOpts, services.WithDetectorPool(s.pool))
+		s.detBase = append(s.detBase, services.WithDetectorPool(s.pool))
 	}
-	s.Matcher = services.NewEventMatcher(s.Stream, deliver, detOpts...)
-	s.Snoop = services.NewSnoopService(s.Stream, deliver, detOpts...)
-	s.Snoop.SetObs(cfg.Obs)
+	// The default tenant's space is built eagerly — it is the system the
+	// single-tenant surface (System.Engine/Matcher/Snoop) exposes. Other
+	// tenants' spaces appear on first use.
+	def, err := s.spaceFor("")
+	if err != nil {
+		return nil, fmt.Errorf("system: default tenant: %w", err)
+	}
+	s.Engine, s.Matcher, s.Snoop = def.Engine, def.Matcher, def.Snoop
+	s.matcherSvc = spaceService{s, func(sp *Space) grh.Service { return sp.Matcher }}
+	s.snoopSvc = spaceService{s, func(sp *Space) grh.Service { return sp.Snoop }}
 	s.XQuery = services.NewXQueryService(s.Store, cfg.Namespaces)
 	s.Actions = services.NewActionExecutor(s.Store, s.Stream, s.Notifier.Send)
 
@@ -236,8 +275,8 @@ func NewLocal(cfg Config) (*System, error) {
 	s.Datalog = dl
 
 	regs := []grh.Descriptor{
-		{Language: services.MatcherNS, Name: "atomic event matcher", Kinds: []ruleml.ComponentKind{ruleml.EventComponent}, FrameworkAware: true, Local: s.Matcher},
-		{Language: snoop.NS, Name: "SNOOP detection service", Kinds: []ruleml.ComponentKind{ruleml.EventComponent}, FrameworkAware: true, Local: s.Snoop},
+		{Language: services.MatcherNS, Name: "atomic event matcher", Kinds: []ruleml.ComponentKind{ruleml.EventComponent}, FrameworkAware: true, Local: s.matcherSvc},
+		{Language: snoop.NS, Name: "SNOOP detection service", Kinds: []ruleml.ComponentKind{ruleml.EventComponent}, FrameworkAware: true, Local: s.snoopSvc},
 		{Language: services.XQueryNS, Name: "XQuery service", Kinds: []ruleml.ComponentKind{ruleml.QueryComponent}, FrameworkAware: true, Local: s.XQuery},
 		{Language: services.DatalogNS, Name: "Datalog service", Kinds: []ruleml.ComponentKind{ruleml.QueryComponent}, FrameworkAware: true, Local: s.Datalog},
 		{Language: services.TestNS, Name: "test evaluator", Kinds: []ruleml.ComponentKind{ruleml.TestComponent}, FrameworkAware: true, Local: services.TestEvaluator{}},
@@ -257,15 +296,18 @@ func NewLocal(cfg Config) (*System, error) {
 		s.maxPending = cfg.MaxPendingEvents
 	}
 	reg := cfg.Obs.Metrics()
-	s.metAdmitted = reg.Counter("events_admitted_total", "Events accepted by POST /events and published on the local stream.")
-	s.metShed = reg.Counter("events_shed_total", "POST /events requests shed with 429 by the admission limit.")
+	s.metAdmitted = reg.CounterVec("events_admitted_total",
+		"Events accepted by POST /events and published on the local stream, by tenant (empty = default tenant).", "tenant")
+	s.metShed = reg.CounterVec("events_shed_total",
+		"POST /events requests shed with 429, by tenant and reason (overload = node admission limit, quota = tenant quota).",
+		"tenant", "reason")
 	s.metPending = reg.Gauge("events_pending", "POST /events requests currently holding an admission slot.")
 	s.metBatchSize = reg.Histogram("events_batch_size",
 		"Events admitted per POST /events request (1 for the single-event contract; the batch size for eca:events envelopes and NDJSON bodies).",
 		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
 	if cfg.Cluster != nil {
 		node, err := cluster.New(*cfg.Cluster, cluster.Hooks{
-			LocalRules:        s.Engine.RegisteredRules,
+			LocalRules:        s.localRules,
 			RegisterRecovered: s.registerRecovered,
 			PublishRecovered:  s.publishRecovered,
 		}, cfg.Store)
@@ -324,8 +366,11 @@ func (s *System) StartCluster() {
 //	GET  /debug/pprof/        runtime profiling (when Config.PProf is set)
 func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/services/matcher", services.NewHandler(s.Matcher, s.Obs, s.Log))
-	mux.Handle("/services/snoop", services.NewHandler(s.Snoop, s.Obs, s.Log))
+	// The matcher and SNOOP endpoints mount the tenant routers, so a
+	// protocol document carrying a tenant stamp reaches that tenant's
+	// detector even over the distributed wiring.
+	mux.Handle("/services/matcher", services.NewHandler(s.matcherSvc, s.Obs, s.Log))
+	mux.Handle("/services/snoop", services.NewHandler(s.snoopSvc, s.Obs, s.Log))
 	mux.Handle("/services/xquery", services.NewHandler(s.XQuery, s.Obs, s.Log))
 	mux.Handle("/services/datalog", services.NewHandler(s.Datalog, s.Obs, s.Log))
 	mux.Handle("/services/test", services.NewHandler(services.TestEvaluator{}, s.Obs, s.Log))
@@ -351,17 +396,35 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 	mux.HandleFunc("/engine/rules", func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
 		case http.MethodGet:
+			wire, filtered, ok := s.listTenant(w, r)
+			if !ok {
+				return
+			}
+			infos := s.ruleInfos()
+			if filtered {
+				kept := infos[:0]
+				for _, info := range infos {
+					if info.Tenant == wire {
+						kept = append(kept, info)
+					}
+				}
+				infos = kept
+			}
 			if r.URL.Query().Get("format") == "ids" {
 				// Plain-text id list, the historical ecactl contract.
-				for _, id := range s.Engine.Rules() {
-					fmt.Fprintln(w, id)
+				for _, info := range infos {
+					fmt.Fprintln(w, info.ID)
 				}
 				return
 			}
 			writeJSON(w, struct {
 				Rules []engine.RuleInfo `json:"rules"`
-			}{s.ruleInfos()})
+			}{infos})
 		case http.MethodPost:
+			sp, ok := s.spaceFromRequest(w, r)
+			if !ok {
+				return
+			}
 			doc, err := xmltree.Parse(r.Body)
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusBadRequest)
@@ -383,7 +446,7 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 					}
 				}
 				if owner := s.Cluster.Owner(rule.ID); owner != s.Cluster.ID() {
-					status, body, err := s.Cluster.ForwardRule(rule, owner)
+					status, body, err := s.Cluster.ForwardRule(sp.wire, rule, owner)
 					switch {
 					case err == nil:
 						w.WriteHeader(status)
@@ -397,7 +460,15 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 					// stays writable during failover.
 				}
 			}
-			if err := s.Engine.Register(rule); err != nil {
+			// The max-rules quota is claimed before registration and rolled
+			// back if the engine rejects the rule, so a rejected document
+			// never consumes quota.
+			if err := sp.Tenant.AcquireRule(); err != nil {
+				writeQuotaExceeded(w, err)
+				return
+			}
+			if err := sp.Engine.Register(rule); err != nil {
+				sp.Tenant.ReleaseRule()
 				// A rule whose component expression does not compile is a
 				// malformed request (400); other failures (duplicate ids,
 				// unroutable components) stay 422.
@@ -421,7 +492,14 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 		}
 		switch r.Method {
 		case http.MethodGet:
+			wire, filtered, ok := s.listTenant(w, r)
+			if !ok {
+				return
+			}
 			for _, info := range s.ruleInfos() {
+				if filtered && info.Tenant != wire {
+					continue
+				}
 				if info.ID == id {
 					writeJSON(w, info)
 					return
@@ -429,22 +507,33 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 			}
 			http.Error(w, fmt.Sprintf("no rule %q", id), http.StatusNotFound)
 		case http.MethodDelete:
-			if err := s.Engine.Unregister(id); err != nil {
-				if strings.Contains(err.Error(), "no rule") {
-					http.Error(w, err.Error(), http.StatusNotFound)
-					return
-				}
-				http.Error(w, err.Error(), http.StatusInternalServerError)
+			wire, filtered, ok := s.listTenant(w, r)
+			if !ok {
 				return
 			}
-			fmt.Fprintln(w, id)
+			for _, sp := range s.snapshotSpaces() {
+				if filtered && sp.wire != wire {
+					continue
+				}
+				err := sp.Engine.Unregister(id)
+				if err == nil {
+					sp.Tenant.ReleaseRule()
+					fmt.Fprintln(w, id)
+					return
+				}
+				if !strings.Contains(err.Error(), "no rule") {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+			}
+			http.Error(w, fmt.Sprintf("no rule %q", id), http.StatusNotFound)
 		default:
 			http.Error(w, "GET or DELETE a rule id", http.StatusMethodNotAllowed)
 		}
 	})
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/engine/stats", func(w http.ResponseWriter, r *http.Request) {
-		st := s.Engine.Stats()
+		st := s.engineStats()
 		fmt.Fprintf(w, "rules %d\ninstances_created %d\ninstances_completed %d\ninstances_died %d\naction_runs %d\nnotifications %d\n",
 			st.RulesRegistered, st.InstancesCreated, st.InstancesCompleted, st.InstancesDied, st.ActionRuns, len(s.Notifier.Sent()))
 	})
@@ -456,7 +545,7 @@ func (s *System) Mux(opaqueDoc *xmltree.Node, namespaces map[string]string) *htt
 	}
 	if s.Obs != nil {
 		mux.Handle("/metrics", s.Obs.MetricsHandler())
-		mux.Handle("/debug/traces", s.Obs.TracesHandler())
+		mux.Handle("/debug/traces", s.tenantTraces(s.Obs.TracesHandler()))
 	}
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -544,6 +633,13 @@ func (s *System) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// bounds concurrent requests (and thus journal/dispatch pressure),
 	// not event count.
 	admittedAt := time.Now()
+	// The tenant is resolved before the admission slot: a request naming
+	// an invalid tenant is a client error even under overload, and the
+	// shed counter needs the tenant label either way.
+	sp, ok := s.spaceFromRequest(w, r)
+	if !ok {
+		return
+	}
 	if s.eventSlots != nil {
 		select {
 		case s.eventSlots <- struct{}{}:
@@ -553,7 +649,7 @@ func (s *System) handleEvents(w http.ResponseWriter, r *http.Request) {
 				s.metPending.Set(float64(len(s.eventSlots)))
 			}()
 		default:
-			s.metShed.Inc()
+			s.metShed.With(sp.wire, "overload").Inc()
 			writeOverloaded(w)
 			return
 		}
@@ -566,11 +662,14 @@ func (s *System) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// Clustered deployments route each event to the replicas whose rules
 	// can match it; a request a peer already forwarded (origin header
 	// set) is always handled locally, which keeps forwarding one-hop.
+	// Forwarded events are not charged against local quotas — the
+	// receiving node admits (and meters) them under its own view of the
+	// tenant.
 	var forwarded []string
 	if s.Cluster != nil && r.Header.Get(cluster.OriginHeader) == "" {
 		local := docs[:0]
 		for _, doc := range docs {
-			res := s.Cluster.RouteEvent(doc)
+			res := s.Cluster.RouteEvent(sp.wire, doc)
 			// Publish locally when local rules match — or when no peer
 			// accepted the event, so it is never silently dropped.
 			if !res.Local && len(res.Forwarded) > 0 {
@@ -586,11 +685,27 @@ func (s *System) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Tenant quotas gate locally admitted events: the pending-events cap
+	// counts events in flight between here and the end of dispatch, and
+	// the rate bucket charges the batch as a unit. Both reject with the
+	// quota 429 body, which cluster forwarders and clients can tell from
+	// node overload.
+	if err := sp.Tenant.AcquirePending(len(docs)); err != nil {
+		s.metShed.With(sp.wire, "quota").Inc()
+		writeQuotaExceeded(w, err)
+		return
+	}
+	defer sp.Tenant.ReleasePending(len(docs))
+	if err := sp.Tenant.AdmitEvents(len(docs)); err != nil {
+		s.metShed.With(sp.wire, "quota").Inc()
+		writeQuotaExceeded(w, err)
+		return
+	}
 	// Journal the accepted events before dispatch, acknowledge after: a
 	// crash in between leaves orphan records that recovery re-enqueues on
 	// the next boot. The whole batch costs one lock acquisition and one
 	// fsync.
-	journalIDs, err := s.Durable.AppendEventBatch(docs)
+	journalIDs, err := s.Durable.AppendEventBatchTenant(sp.wire, docs)
 	if err != nil {
 		http.Error(w, "event not journaled: "+err.Error(), http.StatusInternalServerError)
 		return
@@ -598,10 +713,11 @@ func (s *System) handleEvents(w http.ResponseWriter, r *http.Request) {
 	evs := make([]events.Event, len(docs))
 	for i, doc := range docs {
 		evs[i] = events.NewAdmitted(doc, admittedAt)
+		evs[i].Tenant = sp.wire
 	}
 	out := s.Stream.PublishBatch(evs)
 	s.Durable.AckEvents(journalIDs)
-	s.metAdmitted.Add(int64(len(out)))
+	s.metAdmitted.With(sp.wire).Add(int64(len(out)))
 	s.metBatchSize.Observe(float64(len(out)))
 	for _, ev := range out {
 		fmt.Fprintf(w, "%d\n", ev.Seq)
@@ -627,17 +743,37 @@ func writeOverloaded(w http.ResponseWriter) {
 	json.NewEncoder(w).Encode(Overload{Error: "overloaded", RetryAfterSeconds: 1})
 }
 
-// ruleInfos is RuleInfos plus the owner stamp: on clustered deployments
-// every locally registered rule is owned by this node. Single-node output
-// is unchanged (the field is omitempty).
+// ruleInfos aggregates every space's RuleInfos (default tenant first,
+// then tenants in id order) plus the owner stamp: on clustered
+// deployments every locally registered rule is owned by this node.
+// Single-tenant, single-node output is unchanged (both fields are
+// omitempty).
 func (s *System) ruleInfos() []engine.RuleInfo {
-	infos := s.Engine.RuleInfos()
+	var infos []engine.RuleInfo
+	for _, sp := range s.snapshotSpaces() {
+		infos = append(infos, sp.Engine.RuleInfos()...)
+	}
 	if s.Cluster != nil {
 		for i := range infos {
 			infos[i].Owner = s.Cluster.ID()
 		}
 	}
 	return infos
+}
+
+// engineStats sums every space's engine counters — the node-level view
+// /engine/stats and /healthz report.
+func (s *System) engineStats() engine.Stats {
+	var st engine.Stats
+	for _, sp := range s.snapshotSpaces() {
+		es := sp.Engine.Stats()
+		st.RulesRegistered += es.RulesRegistered
+		st.InstancesCreated += es.InstancesCreated
+		st.InstancesCompleted += es.InstancesCompleted
+		st.InstancesDied += es.InstancesDied
+		st.ActionRuns += es.ActionRuns
+	}
+	return st
 }
 
 // Health is the /healthz response body. Ready is the load-balancer
@@ -658,6 +794,7 @@ type Health struct {
 	Store              *store.Health    `json:"store,omitempty"`     // absent for in-memory deployments
 	Cluster            *cluster.Status  `json:"cluster,omitempty"`   // absent for single-node deployments
 	Admission          *AdmissionHealth `json:"admission,omitempty"` // absent without -max-pending-events
+	Tenants            []TenantHealth   `json:"tenants,omitempty"`   // absent while only the default space is live
 }
 
 // AdmissionHealth reports event-admission pressure: how many POST
@@ -683,24 +820,38 @@ func readyThreshold(maxPending int) int {
 }
 
 func (s *System) healthz(w http.ResponseWriter, r *http.Request) {
-	st := s.Engine.Stats()
+	spaces := s.snapshotSpaces()
+	st := s.engineStats()
 	h := Health{
 		Status:             "ok",
 		Ready:              true,
 		UptimeSeconds:      time.Since(s.started).Seconds(),
-		Rules:              len(s.Engine.Rules()),
+		Rules:              st.RulesRegistered,
 		Languages:          len(s.GRH.Languages()),
 		InstancesCreated:   st.InstancesCreated,
 		InstancesCompleted: st.InstancesCompleted,
 		InstancesDied:      st.InstancesDied,
 		Notifications:      len(s.Notifier.Sent()),
 	}
+	if len(spaces) > 1 {
+		for _, sp := range spaces {
+			h.Tenants = append(h.Tenants, TenantHealth{
+				ID:            sp.ID,
+				Rules:         sp.Tenant.Rules(),
+				PendingEvents: sp.Tenant.Pending(),
+			})
+		}
+	}
 	if s.maxPending > 0 {
+		depth := 0
+		for _, sp := range spaces {
+			depth += sp.Engine.QueueDepth()
+		}
 		a := AdmissionHealth{
 			Pending:          len(s.eventSlots),
 			MaxPendingEvents: s.maxPending,
 			ReadyThreshold:   readyThreshold(s.maxPending),
-			EngineQueueDepth: s.Engine.QueueDepth(),
+			EngineQueueDepth: depth,
 		}
 		h.Admission = &a
 		if a.Pending >= a.ReadyThreshold {
@@ -737,15 +888,20 @@ func (s *System) Close() {
 		// engine and store they feed off shut down.
 		s.Cluster.Close()
 	}
-	// Unsubscribe the event services (stop producing detection tasks),
-	// then drain the partition workers into the still-open engine, then
-	// drain the engine's rule instances.
-	s.Matcher.Close()
-	s.Snoop.Close()
+	// Unsubscribe every space's event services (stop producing detection
+	// tasks), then drain the partition workers into the still-open
+	// engines, then drain each engine's rule instances.
+	spaces := s.snapshotSpaces()
+	for _, sp := range spaces {
+		sp.Matcher.Close()
+		sp.Snoop.Close()
+	}
 	if s.pool != nil {
 		s.pool.Close()
 	}
-	s.Engine.Close()
+	for _, sp := range spaces {
+		sp.Engine.Close()
+	}
 	if s.Durable != nil {
 		if err := s.Durable.Close(); err != nil {
 			s.Log.Warn("store close", "error", err.Error())
@@ -756,41 +912,17 @@ func (s *System) Close() {
 // Recover replays the durable store's reconstructed state into this
 // system: every recovered rule document is re-parsed and re-registered
 // through the regular ruleml.Analyzer validation path (restoring its
-// original id and registration time), and every orphaned event — accepted
-// before the crash but never dispatched — is re-published on the stream.
-// Records that fail to parse or re-register are skipped with a logged,
-// metered warning. Call it once, after NewLocal and before serving
-// traffic; a nil store (in-memory deployment) is a no-op.
+// original id, registration time and tenant space), and every orphaned
+// event — accepted before the crash but never dispatched — is
+// re-published on the stream under its journaled tenant. Records that
+// fail to parse or re-register are skipped with a logged, metered
+// warning. Call it once, after NewLocal and before serving traffic; a nil
+// store (in-memory deployment) is a no-op.
 func (s *System) Recover() (store.RecoveryStats, error) {
 	if s.Durable == nil {
 		return store.RecoveryStats{}, nil
 	}
-	return s.Durable.Recover(s.registerRecovered, s.publishRecovered)
-}
-
-// registerRecovered re-registers one journaled rule through the regular
-// validation path, restoring its id and registration time. It is the
-// rule-phase callback of both crash recovery (Recover) and cluster
-// partition takeover.
-func (s *System) registerRecovered(id string, doc *xmltree.Node, registered time.Time) error {
-	rule, err := ruleml.Parse(doc)
-	if err != nil {
-		return err
-	}
-	rule.ID = id
-	if err := s.Engine.Register(rule); err != nil {
-		return err
-	}
-	s.Engine.SetRegistered(id, registered)
-	return nil
-}
-
-// publishRecovered re-publishes one orphaned event — accepted but never
-// dispatched — on the local stream; the event phase of both crash recovery
-// and cluster partition takeover.
-func (s *System) publishRecovered(doc *xmltree.Node) error {
-	s.Stream.Publish(events.New(doc))
-	return nil
+	return s.Durable.RecoverTenants(s.registerRecovered, s.publishRecovered)
 }
 
 // Distribute re-registers every component language in the GRH as a REMOTE
